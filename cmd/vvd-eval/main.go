@@ -1,0 +1,173 @@
+// Command vvd-eval regenerates the paper's evaluation: every table and
+// figure of §6 plus the design ablations, printed as text tables.
+//
+// Usage:
+//
+//	vvd-eval -figures all                 # scaled defaults
+//	vvd-eval -figures 12,16 -sets 8 -packets 150 -combos 5
+//	vvd-eval -paper                       # full-scale (hours)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vvd/internal/experiments"
+)
+
+func main() {
+	var (
+		figures = flag.String("figures", "all", "comma list: table1,table2,5,11,12,15,aging,ablations")
+		sets    = flag.Int("sets", 0, "override campaign sets")
+		packets = flag.Int("packets", 0, "override packets per set")
+		psdu    = flag.Int("psdu", 0, "override PSDU bytes")
+		combos  = flag.Int("combos", 0, "override combinations evaluated")
+		epochs  = flag.Int("epochs", 0, "override VVD training epochs")
+		paper   = flag.Bool("paper", false, "full paper-scale parameters (very slow)")
+		seed    = flag.Uint64("seed", 0, "override campaign seed")
+	)
+	flag.Parse()
+
+	p := experiments.DefaultParams()
+	if *paper {
+		p = experiments.PaperParams()
+	}
+	if *sets > 0 {
+		p.Campaign.Sets = *sets
+	}
+	if *packets > 0 {
+		p.Campaign.PacketsPerSet = *packets
+	}
+	if *psdu > 0 {
+		p.Campaign.PSDULen = *psdu
+	}
+	if *combos > 0 {
+		p.Combos = *combos
+	}
+	if *epochs > 0 {
+		p.Train.Epochs = *epochs
+	}
+	if *seed > 0 {
+		p.Campaign.Seed = *seed
+	}
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*figures, ",") {
+		want[strings.TrimSpace(strings.ToLower(f))] = true
+	}
+	all := want["all"]
+
+	if all || want["table1"] {
+		fmt.Println(experiments.Table1())
+	}
+
+	var e *experiments.Engine
+	needEngine := all || want["table2"] || want["11"] || want["12"] || want["13"] || want["14"] ||
+		want["aging"] || want["16"] || want["17"] || want["ablations"]
+	if needEngine {
+		start := time.Now()
+		fmt.Printf("generating campaign (%d sets x %d packets, PSDU %d)...\n",
+			p.Campaign.Sets, p.Campaign.PacketsPerSet, p.Campaign.PSDULen)
+		var err error
+		e, err = experiments.NewEngine(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("campaign ready in %.1fs\n\n", time.Since(start).Seconds())
+	}
+
+	if all || want["table2"] {
+		fmt.Println(experiments.Table2(e.Campaign, p.Combos))
+	}
+	if all || want["5"] {
+		res, err := experiments.RunFig5(p.Campaign.Seed + 41)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Render())
+	}
+	if all || want["11"] {
+		run("Fig. 11", func() (renderer, error) { return experiments.RunFig11(e) })
+	}
+	if all || want["12"] || want["13"] || want["14"] {
+		run("Figs. 12-14", func() (renderer, error) { return experiments.RunFig12to14(e) })
+	}
+	if all || want["15"] {
+		// Fig. 15 uses a dedicated scripted-trajectory campaign so the
+		// burst structure around LoS crossings is guaranteed.
+		fp := p
+		fp.Campaign.Scripted = true
+		fp.Campaign.Sets = 3
+		fp.Campaign.Seed = p.Campaign.Seed + 99
+		fe, err := experiments.NewEngine(fp)
+		if err != nil {
+			fatal(err)
+		}
+		pts, err := experiments.RunFig15(fe, 100)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderFig15(pts))
+	}
+	if all || want["aging"] || want["16"] || want["17"] {
+		ages := []int{0, 1, 5, 10, 20, 50}
+		if n := p.Campaign.PacketsPerSet; n > 220 {
+			ages = append(ages, 100, 200)
+		}
+		run("Figs. 16-17", func() (renderer, error) { return experiments.RunAging(e, ages) })
+	}
+	if all || want["ablations"] {
+		runAblations(e)
+	}
+}
+
+type renderer interface{ Render() string }
+
+func run(name string, f func() (renderer, error)) {
+	start := time.Now()
+	res, err := f()
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", name, err))
+	}
+	fmt.Println(res.Render())
+	fmt.Printf("(%s completed in %.1fs)\n\n", name, time.Since(start).Seconds())
+}
+
+func runAblations(e *experiments.Engine) {
+	type study struct {
+		name string
+		f    func() (*experiments.AblationResult, error)
+	}
+	studies := []study{
+		{"pooling", func() (*experiments.AblationResult, error) { return experiments.RunAblationPooling(e) }},
+		{"dense", func() (*experiments.AblationResult, error) { return experiments.RunAblationDense(e) }},
+		{"normalization", func() (*experiments.AblationResult, error) { return experiments.RunAblationNormalization(e) }},
+		{"equalizer taps", func() (*experiments.AblationResult, error) {
+			return experiments.RunAblationEqualizerTaps(e, []int{7, 11, 21, 31})
+		}},
+		{"phase correction", func() (*experiments.AblationResult, error) { return experiments.RunAblationPhaseCorrection(e) }},
+		{"CIR taps", func() (*experiments.AblationResult, error) {
+			return experiments.RunAblationCIRTaps(e, []int{3, 7, 11, 15})
+		}},
+		{"despreading", func() (*experiments.AblationResult, error) { return experiments.RunAblationDespreading(e) }},
+		{"privacy", func() (*experiments.AblationResult, error) {
+			return experiments.RunAblationPrivacy(e, []int{1, 3, 6})
+		}},
+	}
+	for _, s := range studies {
+		res, err := s.f()
+		if err != nil {
+			fatal(fmt.Errorf("ablation %s: %w", s.name, err))
+		}
+		fmt.Println(res.Render())
+	}
+	fmt.Println(experiments.RenderScalability(experiments.RunScalability(0.05, 256)))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vvd-eval:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,104 @@
+// Command vvd-train trains a VVD CNN variant on a generated campaign and
+// saves the model.
+//
+// Usage:
+//
+//	vvd-train -campaign campaign.bin -variant current -combo 1 -out vvd.model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vvd/internal/core"
+	"vvd/internal/dataset"
+)
+
+func main() {
+	var (
+		campaignPath = flag.String("campaign", "campaign.bin", "campaign file from vvd-dataset")
+		variant      = flag.String("variant", "current", "VVD variant: current | 33ms | 100ms")
+		combo        = flag.Int("combo", 1, "Table 2 combination number")
+		out          = flag.String("out", "vvd.model", "output model file")
+		epochs       = flag.Int("epochs", 24, "training epochs (paper: 200)")
+		batch        = flag.Int("batch", 16, "mini-batch size")
+		workers      = flag.Int("workers", 0, "gradient workers (0 = GOMAXPROCS)")
+		lr           = flag.Float64("lr", 1.2e-3, "initial Nadam learning rate (paper: 1e-4)")
+		paperArch    = flag.Bool("paper-arch", false, "use the full Fig. 8 architecture (slow on CPU)")
+		seed         = flag.Uint64("seed", 7, "training seed")
+	)
+	flag.Parse()
+
+	var lag dataset.ImageLag
+	switch *variant {
+	case "current":
+		lag = dataset.LagCurrent
+	case "33ms":
+		lag = dataset.Lag33ms
+	case "100ms":
+		lag = dataset.Lag100ms
+	default:
+		fatal(fmt.Errorf("unknown variant %q", *variant))
+	}
+
+	f, err := os.Open(*campaignPath)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := dataset.LoadCampaign(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	var cb *dataset.Combination
+	for _, candidate := range dataset.CombinationsFor(len(c.Sets), 0) {
+		if candidate.Number == *combo {
+			cbCopy := candidate
+			cb = &cbCopy
+			break
+		}
+	}
+	if cb == nil {
+		fatal(fmt.Errorf("combination %d not available for a %d-set campaign", *combo, len(c.Sets)))
+	}
+
+	cfg := core.TrainConfig{
+		Arch:    core.ScaledArch(),
+		Epochs:  *epochs,
+		Batch:   *batch,
+		Workers: *workers,
+		Seed:    *seed,
+		LR:      *lr,
+		Verbose: func(epoch int, train, val float64) {
+			fmt.Printf("epoch %3d  train %.5e  val %.5e\n", epoch, train, val)
+		},
+	}
+	if *paperArch {
+		cfg.Arch = core.PaperArch()
+	}
+
+	fmt.Printf("training VVD-%s on combination %d (train sets %v, val %d)\n",
+		*variant, cb.Number, cb.Training, cb.Val)
+	v, hist, err := core.Train(c, *cb, lag, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("best validation MSE %.5e at epoch %d\n", hist.BestVal, hist.BestEpoch)
+
+	of, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer of.Close()
+	if err := v.Save(of); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d parameters, norm %.3e)\n", *out, v.Net.NumParams(), v.Norm)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vvd-train:", err)
+	os.Exit(1)
+}

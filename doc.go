@@ -1,0 +1,10 @@
+// Package vvd is a from-scratch Go reproduction of "Veni Vidi Dixi:
+// Reliable Wireless Communication with Depth Images" (CoNEXT 2019):
+// CNN-based blind wireless channel estimation from depth images of the
+// communication environment, evaluated against data-based and Kalman
+// channel estimators on a simulated IEEE 802.15.4 testbed.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); bench_test.go regenerates every table and figure of the
+// paper's evaluation; examples/ contains runnable scenarios.
+package vvd

@@ -1,0 +1,50 @@
+// Aging: how fast does channel knowledge rot? (paper Figs. 16–17)
+//
+// A channel estimate is a perishable good: the paper shows the MSE of an
+// aged estimate grows roughly exponentially and saturates after ~2 s, while
+// the PER impact is nearly binary. This example sweeps the age of the
+// estimate used to decode each packet and prints both curves for the
+// preamble-genie estimator and for VVD.
+//
+// Run with:
+//
+//	go run ./examples/aging
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vvd/internal/core"
+	"vvd/internal/experiments"
+	"vvd/internal/nn"
+)
+
+func main() {
+	p := experiments.DefaultParams()
+	p.Campaign.Sets = 3
+	p.Campaign.PacketsPerSet = 240 // 24 s takes → ages up to 20 s
+	p.Campaign.PSDULen = 64
+	p.Combos = 1
+	p.Train = core.TrainConfig{
+		Arch:   core.Arch{Conv1: 4, Conv2: 4, Conv3: 8, Conv4: 8, Dense: 32, Pool: nn.AvgPool},
+		Epochs: 14, Batch: 16, Seed: 3, LR: 2e-3,
+	}
+	fmt.Println("simulating campaign and training VVD (this takes a minute)...")
+	e, err := experiments.NewEngine(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Paper's aging grid: Original, −0.1 s, −0.5 s, −1 s, −2 s, −5 s, −10 s, −20 s.
+	ages := []int{0, 1, 5, 10, 20, 50, 100, 200}
+	res, err := experiments.RunAging(e, ages)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Render())
+
+	fmt.Println("Expected shape (paper §6.5): MSE rises with age and saturates by ~2 s;")
+	fmt.Println("the genie's PER jumps as soon as the estimate is 100 ms old, while the")
+	fmt.Println("effect of aging on VVD's PER is comparatively flat.")
+}

@@ -1,0 +1,41 @@
+package camera
+
+import "math"
+
+// Synchronizer implements the LED-blink packet↔frame matching of the
+// paper's Fig. 3: packets arrive every ~100 ms while frames arrive every
+// ~33 ms, so two frames can be candidates for the same packet. The
+// transmitter blinks its LED during transmission; the blink is visible in
+// exactly the frame whose exposure covers the transmit instant, resolving
+// the ambiguity.
+type Synchronizer struct {
+	FrameRate float64 // frames per second
+}
+
+// NewSynchronizer returns a synchronizer at the camera frame rate.
+func NewSynchronizer() *Synchronizer { return &Synchronizer{FrameRate: FrameRate} }
+
+// FrameIndex returns the index of the frame whose exposure interval
+// [i/fps, (i+1)/fps) contains the packet transmit time.
+func (s *Synchronizer) FrameIndex(packetTime float64) int {
+	if packetTime < 0 {
+		return 0
+	}
+	return int(math.Floor(packetTime * s.FrameRate))
+}
+
+// CandidateFrames returns the two frames nearest the packet time (the
+// ambiguity of Fig. 3) with the LED-resolved frame first.
+func (s *Synchronizer) CandidateFrames(packetTime float64) (ledFrame, other int) {
+	led := s.FrameIndex(packetTime)
+	mid := (float64(led) + 0.5) / s.FrameRate
+	if packetTime < mid && led > 0 {
+		return led, led - 1
+	}
+	return led, led + 1
+}
+
+// FrameTime returns the exposure start time of frame i.
+func (s *Synchronizer) FrameTime(i int) float64 {
+	return float64(i) / s.FrameRate
+}

@@ -1,0 +1,388 @@
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"vvd/internal/dsp"
+	"vvd/internal/phy"
+	"vvd/internal/room"
+)
+
+func testGeometry() *Geometry {
+	return NewGeometry(room.DefaultLab(), phy.Wavelength)
+}
+
+func humanAt(x, y float64) room.Human {
+	return room.DefaultHuman(room.Vec3{X: x, Y: y})
+}
+
+// humanFar places the human away from every path in the default lab.
+func humanFar() room.Human { return humanAt(2.2, 4.7) }
+
+// humanOnLoS blocks the direct TX→RX line (y=3 at antenna height 1 m).
+func humanOnLoS() room.Human { return humanAt(4.0, 3.0) }
+
+func TestPathsIncludeLoSAndReflections(t *testing.T) {
+	g := testGeometry()
+	paths := g.Paths(humanFar())
+	var los, wall, scat int
+	for _, p := range paths {
+		switch p.Kind {
+		case KindLoS:
+			los++
+		case KindWallReflection:
+			wall++
+		case KindScatter:
+			scat++
+		}
+	}
+	if los != 1 {
+		t.Fatalf("LoS paths = %d want 1", los)
+	}
+	if wall < 4 {
+		t.Fatalf("wall reflections = %d want ≥ 4 (4 walls + floor/ceiling)", wall)
+	}
+	if scat != len(g.Scatterers) {
+		t.Fatalf("scatter paths = %d want %d", scat, len(g.Scatterers))
+	}
+}
+
+func TestLoSIsShortestAndStrongest(t *testing.T) {
+	g := testGeometry()
+	paths := g.Paths(humanFar())
+	los := paths[0]
+	if los.Kind != KindLoS {
+		t.Fatal("first path must be LoS")
+	}
+	for _, p := range paths[1:] {
+		if p.Length <= los.Length {
+			t.Fatalf("%s path length %v not longer than LoS %v", p.Kind, p.Length, los.Length)
+		}
+		if cmplx.Abs(p.Gain) >= cmplx.Abs(los.Gain) {
+			t.Fatalf("%s path stronger than unblocked LoS", p.Kind)
+		}
+	}
+}
+
+func TestPathDelaysMatchLengths(t *testing.T) {
+	g := testGeometry()
+	for _, p := range g.Paths(humanFar()) {
+		want := p.Length / speedOfLight
+		if math.Abs(p.Delay-want) > 1e-15 {
+			t.Fatalf("delay %v want %v", p.Delay, want)
+		}
+	}
+}
+
+func TestWallReflectionGeometry(t *testing.T) {
+	// Image method invariant: reflected path length equals the distance
+	// from the mirrored TX to RX, and both segments join on the wall.
+	g := testGeometry()
+	for _, p := range g.Paths(humanFar()) {
+		if p.Kind != KindWallReflection {
+			continue
+		}
+		if len(p.Segments) != 2 {
+			t.Fatal("wall path must have 2 segments")
+		}
+		hit := p.Segments[0][1]
+		segLen := p.Segments[0][0].Dist(hit) + p.Segments[1][0].Dist(p.Segments[1][1])
+		if math.Abs(segLen-p.Length) > 1e-9 {
+			t.Fatalf("segment sum %v != path length %v", segLen, p.Length)
+		}
+		onWall := hit.X < 1e-6 || math.Abs(hit.X-g.Room.Width) < 1e-6 ||
+			hit.Y < 1e-6 || math.Abs(hit.Y-g.Room.Depth) < 1e-6 ||
+			hit.Z < 1e-6 || math.Abs(hit.Z-g.Room.Height) < 1e-6
+		if !onWall {
+			t.Fatalf("reflection point %+v not on any wall", hit)
+		}
+	}
+}
+
+func TestBlockageAttenuatesLoS(t *testing.T) {
+	g := testGeometry()
+	clear := g.Paths(humanFar())[0]
+	blocked := g.Paths(humanOnLoS())[0]
+	ratio := cmplx.Abs(blocked.Gain) / cmplx.Abs(clear.Gain)
+	want := math.Pow(10, -g.BlockageLossDB/20)
+	if math.Abs(ratio-want) > 1e-6 {
+		t.Fatalf("blocked/clear = %v want %v", ratio, want)
+	}
+	if blocked.Blocked >= 1 {
+		t.Fatal("Blocked factor not recorded")
+	}
+}
+
+func TestBlockageSoftEdge(t *testing.T) {
+	// Between full block and clear there must be intermediate attenuation.
+	g := testGeometry()
+	h := humanAt(4.0, 3.0+0.25+0.1) // inside the fade band (radius + half clearance)
+	p := g.Paths(h)[0]
+	full := math.Pow(10, -g.BlockageLossDB/20)
+	if p.Blocked <= full+1e-9 || p.Blocked >= 1-1e-9 {
+		t.Fatalf("edge blockage factor %v should be strictly between %v and 1", p.Blocked, full)
+	}
+}
+
+func TestBlockageMonotonicInClearance(t *testing.T) {
+	g := testGeometry()
+	prev := -1.0
+	for _, dy := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.6, 1.0} {
+		p := g.Paths(humanAt(4.0, 3.0+dy))[0]
+		if p.Blocked < prev-1e-9 {
+			t.Fatalf("blockage factor not monotone at dy=%v", dy)
+		}
+		prev = p.Blocked
+	}
+}
+
+func TestPathsClearHasNoBlockage(t *testing.T) {
+	g := testGeometry()
+	for _, p := range g.PathsClear() {
+		if p.Blocked != 1 {
+			t.Fatalf("clear path %s has blockage %v", p.Kind, p.Blocked)
+		}
+	}
+}
+
+func TestPathsDeterministic(t *testing.T) {
+	g := testGeometry()
+	a := g.Paths(humanOnLoS())
+	b := g.Paths(humanOnLoS())
+	if len(a) != len(b) {
+		t.Fatal("path count differs")
+	}
+	for i := range a {
+		if a[i].Gain != b[i].Gain || a[i].Length != b[i].Length {
+			t.Fatal("paths not deterministic")
+		}
+	}
+}
+
+func TestPathKindString(t *testing.T) {
+	if KindLoS.String() != "LoS" || KindWallReflection.String() != "wall" ||
+		KindScatter.String() != "scatter" || PathKind(99).String() != "unknown" {
+		t.Fatal("PathKind.String mismatch")
+	}
+}
+
+func TestCIRDominantTapNearReference(t *testing.T) {
+	g := testGeometry()
+	m := NewModel(g, phy.SampleRate)
+	cir := m.CIR(humanFar())
+	if len(cir) != 11 {
+		t.Fatalf("taps = %d want 11", len(cir))
+	}
+	dom := DominantTap(cir)
+	// Paper Fig. 5: dominant energy on taps 6–8 (1-based) = 5–7 (0-based).
+	if dom < m.Precursor || dom > m.Precursor+2 {
+		t.Fatalf("dominant tap %d outside expected window [%d,%d]", dom, m.Precursor, m.Precursor+2)
+	}
+}
+
+func TestCIRHasPrecursorLeakage(t *testing.T) {
+	g := testGeometry()
+	m := NewModel(g, phy.SampleRate)
+	cir := m.CIR(humanFar())
+	var pre float64
+	for i := 0; i < m.Precursor; i++ {
+		pre += cmplx.Abs(cir[i])
+	}
+	if pre == 0 {
+		t.Fatal("expected non-zero pre-cursor tap energy (band-limited leakage)")
+	}
+	dom := cmplx.Abs(cir[DominantTap(cir)])
+	if pre > dom {
+		t.Fatal("pre-cursor energy should stay below the dominant tap")
+	}
+}
+
+func TestCIRChangesWithHumanPosition(t *testing.T) {
+	// Hypothesis 1: displacement changes the CIR.
+	g := testGeometry()
+	m := NewModel(g, phy.SampleRate)
+	a := m.CIR(humanFar())
+	b := m.CIR(humanOnLoS())
+	var diff, ref float64
+	for i := range a {
+		diff += cmplx.Abs(a[i] - b[i])
+		ref += cmplx.Abs(a[i])
+	}
+	if diff/ref < 0.05 {
+		t.Fatalf("CIR barely changed with displacement: rel diff %v", diff/ref)
+	}
+}
+
+func TestCIRSamePositionSameChannel(t *testing.T) {
+	// Hypothesis 2: same displacement ⇒ same MPCs (deterministic model).
+	g := testGeometry()
+	m := NewModel(g, phy.SampleRate)
+	a := m.CIR(humanAt(3.3, 2.2))
+	b := m.CIR(humanAt(3.3, 2.2))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same position must give identical CIR")
+		}
+	}
+}
+
+func TestProjectPathsSinglePathKernel(t *testing.T) {
+	g := testGeometry()
+	m := NewModel(g, phy.SampleRate)
+	m.HardwareResponse = nil // isolate the geometric projection
+	// A synthetic path exactly on the reference delay must put its full
+	// gain on the reference tap.
+	p := []Path{{Gain: 2 + 1i, Delay: m.ReferenceDelay}}
+	cir := m.ProjectPaths(p)
+	if cmplx.Abs(cir[m.Precursor]-(2+1i)) > 1e-9 {
+		t.Fatalf("reference tap = %v want 2+1i", cir[m.Precursor])
+	}
+	for i, c := range cir {
+		if i != m.Precursor && cmplx.Abs(c) > 1e-9 {
+			t.Fatalf("tap %d leaked %v for zero fractional delay", i, c)
+		}
+	}
+}
+
+func TestDominantTap(t *testing.T) {
+	if DominantTap([]complex128{1, 3i, -2}) != 1 {
+		t.Fatal("DominantTap wrong")
+	}
+}
+
+func TestLinkTransmitShape(t *testing.T) {
+	g := testGeometry()
+	m := NewModel(g, phy.SampleRate)
+	link := NewLink(m, DefaultImpairments(), rand.New(rand.NewPCG(1, 2)))
+	tx := make([]complex128, 256)
+	for i := range tx {
+		tx[i] = complex(math.Cos(float64(i)), math.Sin(float64(i)))
+	}
+	rec := link.Transmit(tx, humanFar())
+	if len(rec.Waveform) != len(tx)+m.Taps-1 {
+		t.Fatalf("rx len = %d want %d", len(rec.Waveform), len(tx)+m.Taps-1)
+	}
+	if len(rec.TrueCIR) != m.Taps {
+		t.Fatalf("TrueCIR len = %d", len(rec.TrueCIR))
+	}
+}
+
+func TestBlockageLowersChannelPower(t *testing.T) {
+	// LoS blockage must remove a meaningful fraction of the wideband channel
+	// gain Σ|h|² (the noise floor is absolute, so this is an SNR loss).
+	g := testGeometry()
+	m := NewModel(g, phy.SampleRate)
+	power := func(cir []complex128) float64 {
+		var p float64
+		for _, c := range cir {
+			p += real(c)*real(c) + imag(c)*imag(c)
+		}
+		return p
+	}
+	// Average over positions: individual spots can interfere constructively,
+	// but on average a blocked LoS must cost several dB.
+	var clear, blocked float64
+	nClear, nBlocked := 0, 0
+	for _, y := range []float64{4.3, 4.5, 4.7} {
+		for x := 2.2; x <= 5.8; x += 0.4 {
+			clear += power(m.CIR(humanAt(x, y)))
+			nClear++
+		}
+	}
+	for x := 2.5; x <= 5.5; x += 0.3 {
+		blocked += power(m.CIR(humanAt(x, 3.0)))
+		nBlocked++
+	}
+	lossDB := 10 * math.Log10((clear/float64(nClear))/(blocked/float64(nBlocked)))
+	if lossDB < 2 {
+		t.Fatalf("LoS blockage only removed %.2f dB of mean channel gain", lossDB)
+	}
+}
+
+func TestLinkNoiseFloorAbsolute(t *testing.T) {
+	// The injected noise power must not depend on the human position: the
+	// residual (rx − clean) energy is the same for clear and blocked links.
+	g := testGeometry()
+	m := NewModel(g, phy.SampleRate)
+	imp := Impairments{SNRdB: 15}
+	residual := func(h room.Human) float64 {
+		link := NewLink(m, imp, rand.New(rand.NewPCG(21, 9)))
+		rng := rand.New(rand.NewPCG(4, 5))
+		tx := make([]complex128, 8192)
+		for i := range tx {
+			tx[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		rec := link.Transmit(tx, h)
+		clean := dsp.Convolve(tx, rec.TrueCIR)
+		clean = dsp.Rotate(clean, rec.Phase)
+		clean = dsp.ApplyCFO(clean, rec.CFO, m.SampleRate)
+		diff := make([]complex128, len(clean))
+		for i := range clean {
+			diff[i] = rec.Waveform[i] - clean[i]
+		}
+		return dsp.Power(diff)
+	}
+	a, b := residual(humanFar()), residual(humanOnLoS())
+	if math.Abs(10*math.Log10(a/b)) > 0.5 {
+		t.Fatalf("noise floor moved with human position: %v vs %v", a, b)
+	}
+}
+
+func TestLinkAppliesPhaseOffset(t *testing.T) {
+	g := testGeometry()
+	m := NewModel(g, phy.SampleRate)
+	imp := Impairments{SNRdB: 80, PhaseStdDev: 1}
+	link := NewLink(m, imp, rand.New(rand.NewPCG(7, 8)))
+	tx := make([]complex128, 128)
+	for i := range tx {
+		tx[i] = 1
+	}
+	rec := link.Transmit(tx, humanFar())
+	if rec.Phase == 0 {
+		t.Fatal("expected non-zero phase draw")
+	}
+	// Undo the rotation: the result should match the unrotated convolution.
+	undone := dsp.Rotate(rec.Waveform, -rec.Phase)
+	clean := dsp.Convolve(tx, rec.TrueCIR)
+	if dsp.SNRdB(clean, undone) < 40 {
+		t.Fatal("phase-corrected waveform does not match clean convolution")
+	}
+}
+
+func TestLinkNilRngPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLink(NewModel(testGeometry(), phy.SampleRate), DefaultImpairments(), nil)
+}
+
+func TestCIRContinuityProperty(t *testing.T) {
+	// Small human displacements must produce small CIR changes (the
+	// smoothness the CNN relies on). Large tap jumps would indicate a
+	// discontinuous blockage model.
+	g := testGeometry()
+	m := NewModel(g, phy.SampleRate)
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 13))
+		area := g.Room.MovementArea
+		x := area.MinX + rng.Float64()*area.Width()
+		y := area.MinY + rng.Float64()*area.Height()
+		a := m.CIR(humanAt(x, y))
+		b := m.CIR(humanAt(x+0.005, y)) // 5 mm step
+		var diff, ref float64
+		for i := range a {
+			diff += cmplx.Abs(a[i] - b[i])
+			ref += cmplx.Abs(a[i])
+		}
+		return diff/ref < 0.35
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

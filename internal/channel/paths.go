@@ -1,0 +1,300 @@
+// Package channel implements the wireless propagation substrate: an
+// image-method multipath ray model of the laboratory room (LoS, wall /
+// floor / ceiling reflections and static metallic scatterers), human-body
+// blockage, projection of the continuous-delay paths onto a band-limited
+// FIR channel (the 11-tap CIR the paper estimates), and application of the
+// channel plus receiver impairments (AWGN, crystal phase offset, CFO) to
+// transmit waveforms.
+package channel
+
+import (
+	"math"
+
+	"vvd/internal/room"
+)
+
+// PathKind labels how a multipath component reaches the receiver.
+type PathKind int
+
+// Path kinds.
+const (
+	KindLoS PathKind = iota
+	KindWallReflection
+	KindScatter
+	KindHumanScatter
+	KindDiffuseTail
+)
+
+func (k PathKind) String() string {
+	switch k {
+	case KindLoS:
+		return "LoS"
+	case KindWallReflection:
+		return "wall"
+	case KindScatter:
+		return "scatter"
+	case KindHumanScatter:
+		return "human"
+	case KindDiffuseTail:
+		return "tail"
+	default:
+		return "unknown"
+	}
+}
+
+// Path is a single multipath component (MPC).
+type Path struct {
+	Kind     PathKind
+	Length   float64        // total travelled distance in metres
+	Delay    float64        // propagation delay in seconds
+	Gain     complex128     // complex amplitude including carrier phase
+	Segments [][2]room.Vec3 // polyline segments for blockage tests
+	Blocked  float64        // blockage attenuation factor actually applied (1 = clear)
+
+	// baseAmp is the unblocked amplitude before carrier phase, set during
+	// enumeration (free-space for LoS, ·Γ for reflections, two-leg product
+	// for scatterers).
+	baseAmp float64
+	// tailGain is the extra complex factor of diffuse-tail paths (1 for
+	// specular paths).
+	tailGain complex128
+}
+
+// speedOfLight in m/s.
+const speedOfLight = 2.99792458e8
+
+// Scatterer is a static metallic object (PCs, robots in the paper's lab)
+// that produces an additional MPC via point scattering.
+type Scatterer struct {
+	Pos  room.Vec3
+	Gain float64 // scattering efficiency (dimensionless, <1)
+}
+
+// DefaultScatterers places metallic lab objects consistent with Fig. 2:
+// desks with PCs along the walls and a robot near a corner.
+func DefaultScatterers(r *room.Room) []Scatterer {
+	return []Scatterer{
+		{Pos: room.Vec3{X: 0.5, Y: 1.0, Z: 0.8}, Gain: 0.25},
+		{Pos: room.Vec3{X: 0.5, Y: 5.0, Z: 0.8}, Gain: 0.22},
+		{Pos: room.Vec3{X: 7.5, Y: 1.0, Z: 0.8}, Gain: 0.25},
+		{Pos: room.Vec3{X: 4.0, Y: 5.6, Z: 0.5}, Gain: 0.20},
+		{Pos: room.Vec3{X: 6.5, Y: 5.5, Z: 1.2}, Gain: 0.18},
+	}
+}
+
+// Geometry enumerates the multipath components of a room for a given human
+// position. It is deterministic: the same human position always yields the
+// same paths.
+type Geometry struct {
+	Room       *room.Room
+	Scatterers []Scatterer
+	Wavelength float64
+
+	// BlockageClearance is the extra clearance (in metres) beyond the body
+	// radius over which blockage attenuation fades to none. It produces the
+	// soft shadowing edge that makes LoS/NLoS transitions gradual.
+	BlockageClearance float64
+	// BlockageLossDB is the amplitude attenuation (in dB) of a fully
+	// blocked path (human body shadowing at 2.45 GHz).
+	BlockageLossDB float64
+	// HumanScatterGain is the re-radiation efficiency of the human body.
+	// The TX→human→RX path is what makes the CIR vary continuously with
+	// the person's position even when no path is shadowed (the paper's
+	// Hypothesis 1: any displacement changes MPC phase and amplitude).
+	HumanScatterGain float64
+	// TailClusters is the diffuse excess-delay tail of the metal-rich lab
+	// (see TailCluster); it gives the channel genuine shape variation that
+	// an aged estimate cannot track.
+	TailClusters []TailCluster
+}
+
+// NewGeometry builds a Geometry with default blockage parameters.
+func NewGeometry(r *room.Room, wavelength float64) *Geometry {
+	return &Geometry{
+		Room:              r,
+		Scatterers:        DefaultScatterers(r),
+		Wavelength:        wavelength,
+		BlockageClearance: 0.45,
+		BlockageLossDB:    18,
+		HumanScatterGain:  0.25,
+		TailClusters:      DefaultTailClusters(2019),
+	}
+}
+
+// reflectionPlane describes one of the six room surfaces.
+type reflectionPlane struct {
+	axis  int     // 0 = X, 1 = Y, 2 = Z
+	coord float64 // plane position along that axis
+}
+
+func (g *Geometry) planes() []reflectionPlane {
+	r := g.Room
+	return []reflectionPlane{
+		{axis: 0, coord: 0}, {axis: 0, coord: r.Width},
+		{axis: 1, coord: 0}, {axis: 1, coord: r.Depth},
+		{axis: 2, coord: 0}, {axis: 2, coord: r.Height},
+	}
+}
+
+func mirror(p room.Vec3, pl reflectionPlane) room.Vec3 {
+	switch pl.axis {
+	case 0:
+		p.X = 2*pl.coord - p.X
+	case 1:
+		p.Y = 2*pl.coord - p.Y
+	default:
+		p.Z = 2*pl.coord - p.Z
+	}
+	return p
+}
+
+func axisCoord(p room.Vec3, axis int) float64 {
+	switch axis {
+	case 0:
+		return p.X
+	case 1:
+		return p.Y
+	default:
+		return p.Z
+	}
+}
+
+// Paths enumerates LoS, first-order surface reflections and scatterer
+// bounces between TX and RX, applying human blockage to every segment.
+func (g *Geometry) Paths(h room.Human) []Path {
+	return g.paths(&h)
+}
+
+// PathsClear enumerates the same paths with no human in the room (the
+// stationary environment of the paper's Fig. 1a). Used as the nominal
+// channel for absolute noise-floor calibration.
+func (g *Geometry) PathsClear() []Path {
+	return g.paths(nil)
+}
+
+func (g *Geometry) paths(h *room.Human) []Path {
+	r := g.Room
+	paths := make([]Path, 0, 12)
+
+	// Line of sight.
+	losLen := r.TX.Dist(r.RX)
+	los := Path{
+		Kind:     KindLoS,
+		Length:   losLen,
+		Segments: [][2]room.Vec3{{r.TX, r.RX}},
+		baseAmp:  g.Wavelength / (4 * math.Pi * losLen),
+	}
+	paths = append(paths, los)
+
+	// First-order reflections via the image method.
+	for _, pl := range g.planes() {
+		img := mirror(r.TX, pl)
+		dir := r.RX.Sub(img)
+		denom := axisCoord(dir, pl.axis)
+		if math.Abs(denom) < 1e-12 {
+			continue // ray parallel to the plane
+		}
+		t := (pl.coord - axisCoord(img, pl.axis)) / denom
+		if t <= 0 || t >= 1 {
+			continue // reflection point not between the endpoints
+		}
+		hit := img.Add(dir.Scale(t))
+		// Reflection point must lie on the actual wall rectangle.
+		if hit.X < -1e-9 || hit.X > r.Width+1e-9 ||
+			hit.Y < -1e-9 || hit.Y > r.Depth+1e-9 ||
+			hit.Z < -1e-9 || hit.Z > r.Height+1e-9 {
+			continue
+		}
+		length := img.Dist(r.RX)
+		paths = append(paths, Path{
+			Kind:     KindWallReflection,
+			Length:   length,
+			Segments: [][2]room.Vec3{{r.TX, hit}, {hit, r.RX}},
+			baseAmp:  r.WallReflectionLoss * g.Wavelength / (4 * math.Pi * length),
+		})
+	}
+
+	// Static scatterers: two-leg product path loss (re-radiation), which
+	// keeps scattered MPCs realistically below the specular components.
+	for _, s := range g.Scatterers {
+		d1 := r.TX.Dist(s.Pos)
+		d2 := s.Pos.Dist(r.RX)
+		paths = append(paths, Path{
+			Kind:     KindScatter,
+			Length:   d1 + d2,
+			Segments: [][2]room.Vec3{{r.TX, s.Pos}, {s.Pos, r.RX}},
+			baseAmp:  s.Gain * g.Wavelength / (4 * math.Pi * d1 * d2),
+		})
+	}
+
+	// Human body scattering: the person is itself a (moving) reflector.
+	if h != nil && g.HumanScatterGain > 0 {
+		c := h.Center()
+		d1 := r.TX.Dist(c)
+		d2 := c.Dist(r.RX)
+		paths = append(paths, Path{
+			Kind:     KindHumanScatter,
+			Length:   d1 + d2,
+			Segments: nil, // never shadowed by itself
+			baseAmp:  g.HumanScatterGain * g.Wavelength / (4 * math.Pi * d1 * d2),
+		})
+	}
+
+	// Diffuse excess-delay tail, stirred by the human's position.
+	losAmp := g.Wavelength / (4 * math.Pi * losLen)
+	for ti := range g.TailClusters {
+		t := &g.TailClusters[ti]
+		paths = append(paths, Path{
+			Kind:     KindDiffuseTail,
+			Length:   losLen + t.ExcessDelay*speedOfLight,
+			Segments: nil, // diffuse: not shadowed as a single ray
+			baseAmp:  t.Amp * losAmp,
+			tailGain: t.Gain(h),
+		})
+	}
+
+	// Carrier phase + blockage.
+	for i := range paths {
+		p := &paths[i]
+		p.Delay = p.Length / speedOfLight
+		block := 1.0
+		if h != nil && len(p.Segments) > 0 {
+			block = g.blockageFactor(p.Segments, *h)
+		}
+		p.Blocked = block
+		phase := -2 * math.Pi * p.Length / g.Wavelength
+		amp := p.baseAmp * block
+		p.Gain = complex(amp*math.Cos(phase), amp*math.Sin(phase))
+		if p.Kind == KindDiffuseTail {
+			p.Gain *= p.tailGain
+		}
+	}
+	return paths
+}
+
+// blockageFactor returns the amplitude factor (≤1) from human shadowing
+// over a path polyline: 1 when every segment clears the body by more than
+// Radius+Clearance, the full configured loss when a segment intersects the
+// body, with a smooth (smoothstep) transition in between.
+func (g *Geometry) blockageFactor(segs [][2]room.Vec3, h room.Human) float64 {
+	clear := math.Inf(1)
+	for _, s := range segs {
+		d := room.SegmentDistanceToVertical(s[0], s[1], h.Pos.X, h.Pos.Y, h.Pos.Z, h.Pos.Z+h.Height)
+		if d < clear {
+			clear = d
+		}
+	}
+	fade := g.BlockageClearance
+	switch {
+	case clear >= h.Radius+fade:
+		return 1
+	case clear <= h.Radius:
+		return math.Pow(10, -g.BlockageLossDB/20)
+	default:
+		// Smoothstep from full loss at Radius to no loss at Radius+fade.
+		t := (clear - h.Radius) / fade
+		s := t * t * (3 - 2*t)
+		lossDB := g.BlockageLossDB * (1 - s)
+		return math.Pow(10, -lossDB/20)
+	}
+}

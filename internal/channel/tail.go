@@ -1,0 +1,95 @@
+package channel
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"vvd/internal/room"
+)
+
+// TailCluster models one delayed cluster of the room's diffuse multipath
+// tail. Metal-rich industrial environments (the paper's lab holds "several
+// PCs and metallic objects such as robots") exhibit RMS delay spreads of
+// tens to hundreds of nanoseconds that a first-order image model of a bare
+// 8×6 m room cannot produce; an 8 MHz receiver resolves that excess delay
+// across multiple CIR taps. Each cluster therefore injects energy at a
+// fixed excess delay whose complex gain has a static component (the empty
+// room's standing multipath) plus a component "stirred" by the human: a
+// smooth, deterministic complex field of the person's floor position, so
+// the same displacement always reproduces the same channel (the paper's
+// hypothesis 2) while movement between packets de-correlates estimates.
+type TailCluster struct {
+	ExcessDelay float64    // seconds after the line of sight
+	Amp         float64    // amplitude relative to the LoS path
+	Static      complex128 // standing component (unit magnitude)
+	Stir        float64    // relative magnitude of the human-stirred part
+
+	comps []fieldComponent
+}
+
+// fieldComponent is one spatial plane-wave component of the stirred field.
+type fieldComponent struct {
+	kx, ky float64 // spatial frequency (rad/m)
+	phase  float64
+	amp    float64
+}
+
+// Field evaluates the stirred complex field at a floor position. The field
+// has zero mean, unit average power and spatial correlation lengths of a
+// few decimetres — large enough for a depth camera to resolve, small
+// enough that one packet interval of walking de-correlates it.
+func (t *TailCluster) Field(x, y float64) complex128 {
+	var re, im float64
+	for _, c := range t.comps {
+		arg := c.kx*x + c.ky*y + c.phase
+		re += c.amp * math.Cos(arg)
+		im += c.amp * math.Sin(arg)
+	}
+	return complex(re, im)
+}
+
+// Gain returns the cluster's complex gain (relative to its Amp) for a human
+// position, or the static component when h is nil (empty room).
+func (t *TailCluster) Gain(h *room.Human) complex128 {
+	if h == nil || t.Stir == 0 {
+		return t.Static
+	}
+	return t.Static + complex(t.Stir, 0)*t.Field(h.Pos.X, h.Pos.Y)
+}
+
+// DefaultTailClusters builds four clusters at one to four sample periods of
+// excess delay (125–500 ns at 8 MHz), with amplitudes decaying like an
+// exponential power-delay profile. The spatial fields are deterministic
+// functions of the seed.
+func DefaultTailClusters(seed uint64) []TailCluster {
+	rng := rand.New(rand.NewPCG(seed, seed^0x7a11c105))
+	delays := []float64{125e-9, 250e-9, 375e-9, 500e-9}
+	amps := []float64{0.72, 0.55, 0.38, 0.25}
+	out := make([]TailCluster, len(delays))
+	for i := range out {
+		phase := rng.Float64() * 2 * math.Pi
+		t := TailCluster{
+			ExcessDelay: delays[i],
+			Amp:         amps[i],
+			Static:      complex(math.Cos(phase), math.Sin(phase)),
+			Stir:        0.16,
+		}
+		const nComp = 6
+		// Normalize component amplitudes so E|Field|² = 1.
+		compAmp := 1 / math.Sqrt(nComp/2)
+		for c := 0; c < nComp; c++ {
+			// Correlation length 0.25–0.6 m.
+			lambda := 1.1 + 1.3*rng.Float64()
+			k := 2 * math.Pi / lambda
+			dir := rng.Float64() * 2 * math.Pi
+			t.comps = append(t.comps, fieldComponent{
+				kx:    k * math.Cos(dir),
+				ky:    k * math.Sin(dir),
+				phase: rng.Float64() * 2 * math.Pi,
+				amp:   compAmp,
+			})
+		}
+		out[i] = t
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"vvd/internal/room"
+)
+
+func TestDefaultTailClustersStructure(t *testing.T) {
+	clusters := DefaultTailClusters(2019)
+	if len(clusters) != 4 {
+		t.Fatalf("clusters = %d want 4", len(clusters))
+	}
+	prevDelay, prevAmp := 0.0, math.Inf(1)
+	for i, c := range clusters {
+		if c.ExcessDelay <= prevDelay {
+			t.Fatalf("cluster %d delay not increasing", i)
+		}
+		if c.Amp >= prevAmp {
+			t.Fatalf("cluster %d amplitude not decaying", i)
+		}
+		if math.Abs(cmplx.Abs(c.Static)-1) > 1e-12 {
+			t.Fatalf("cluster %d static component not unit magnitude", i)
+		}
+		prevDelay, prevAmp = c.ExcessDelay, c.Amp
+	}
+}
+
+func TestTailClustersDeterministicInSeed(t *testing.T) {
+	a := DefaultTailClusters(7)
+	b := DefaultTailClusters(7)
+	c := DefaultTailClusters(8)
+	h := room.DefaultHuman(room.Vec3{X: 3, Y: 2})
+	for i := range a {
+		if a[i].Gain(&h) != b[i].Gain(&h) {
+			t.Fatal("same seed produced different fields")
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i].Gain(&h) != c[i].Gain(&h) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fields")
+	}
+}
+
+func TestTailGainStaticWithoutHuman(t *testing.T) {
+	for _, c := range DefaultTailClusters(2019) {
+		if c.Gain(nil) != c.Static {
+			t.Fatal("empty room must use the static component")
+		}
+	}
+}
+
+func TestTailFieldSmooth(t *testing.T) {
+	// A 5 cm step must change the field by much less than its magnitude
+	// scale (correlation lengths are ≥ 1 m).
+	c := DefaultTailClusters(2019)[0]
+	maxStep := 0.0
+	for x := 2.0; x < 6.0; x += 0.5 {
+		for y := 1.5; y < 4.5; y += 0.5 {
+			d := cmplx.Abs(c.Field(x+0.05, y) - c.Field(x, y))
+			if d > maxStep {
+				maxStep = d
+			}
+		}
+	}
+	if maxStep > 0.5 {
+		t.Fatalf("field changes by %v over 5 cm — too rough for the camera to track", maxStep)
+	}
+}
+
+func TestTailFieldVariesAcrossRoom(t *testing.T) {
+	c := DefaultTailClusters(2019)[0]
+	a := c.Field(2.0, 1.5)
+	b := c.Field(5.5, 4.5)
+	if cmplx.Abs(a-b) < 0.05 {
+		t.Fatal("field barely varies across the movement area")
+	}
+}
+
+func TestTailFieldUnitPowerScale(t *testing.T) {
+	// Average |Field|² over the movement area should be O(1).
+	c := DefaultTailClusters(2019)[1]
+	var sum float64
+	n := 0
+	for x := 2.0; x <= 6.0; x += 0.2 {
+		for y := 1.2; y <= 4.8; y += 0.2 {
+			v := c.Field(x, y)
+			sum += real(v)*real(v) + imag(v)*imag(v)
+			n++
+		}
+	}
+	mean := sum / float64(n)
+	if mean < 0.3 || mean > 3 {
+		t.Fatalf("mean field power %v outside [0.3, 3]", mean)
+	}
+}
+
+func TestTailPathsPresentInCIR(t *testing.T) {
+	g := testGeometry()
+	var tails int
+	for _, p := range g.Paths(humanFar()) {
+		if p.Kind == KindDiffuseTail {
+			tails++
+			if p.Delay <= 0 {
+				t.Fatal("tail path without delay")
+			}
+		}
+	}
+	if tails != len(g.TailClusters) {
+		t.Fatalf("tail paths = %d want %d", tails, len(g.TailClusters))
+	}
+}
+
+func TestTailMakesChannelShapeVary(t *testing.T) {
+	// The tail must put meaningful energy beyond the dominant cluster so
+	// that the channel is not a scalar multiple of a fixed kernel.
+	g := testGeometry()
+	m := NewModel(g, 8e6)
+	cir := m.CIR(humanFar())
+	dom := DominantTap(cir)
+	var domP, tailP float64
+	for i, c := range cir {
+		p := real(c)*real(c) + imag(c)*imag(c)
+		if i >= dom-1 && i <= dom+1 {
+			domP += p
+		} else if i > dom+1 {
+			tailP += p
+		}
+	}
+	if tailP < 0.05*domP {
+		t.Fatalf("tail power %v too small vs dominant %v", tailP, domP)
+	}
+}

@@ -1,0 +1,287 @@
+// Package dataset generates and organizes the measurement campaign the
+// paper collected on its testbed: 15 measurement sets ("takes") of packets
+// transmitted every 100 ms while a human walks through the room, each
+// packet synchronized (LED blink) with the depth-camera frame stream, plus
+// the Table 2 train/validation/test set combinations and the CIR
+// normalization used for the ML targets.
+//
+// Waveforms are not stored: every packet records the RNG seed of its link
+// realization, so receptions can be regenerated bit-exactly on demand.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"vvd/internal/camera"
+	"vvd/internal/channel"
+	"vvd/internal/estimate"
+	"vvd/internal/phy"
+	"vvd/internal/room"
+)
+
+// PacketInterval is the transmit period (paper: one packet each 100 ms).
+const PacketInterval = 0.1
+
+// ImageLag enumerates the depth-image inputs stored per packet: the
+// LED-synchronized current frame plus the frames one and three frame
+// periods earlier (inputs of the VVD-33.3ms-Future and VVD-100ms-Future
+// variants).
+type ImageLag int
+
+// Image lags.
+const (
+	LagCurrent ImageLag = iota // frame synchronized with the packet
+	Lag33ms                    // one frame earlier (≈33.3 ms)
+	Lag100ms                   // three frames earlier (≈100 ms)
+	numLags
+)
+
+// Config parameterizes campaign generation.
+type Config struct {
+	Sets          int    // number of measurement takes (paper: 15)
+	PacketsPerSet int    // packets per take
+	PSDULen       int    // PSDU size in bytes (paper: 127)
+	Seed          uint64 // master seed
+	RenderImages  bool   // render depth images (needed for VVD)
+	Imp           channel.Impairments
+	Mobility      room.MobilityConfig
+	// Scripted replaces the random-waypoint walk with the deterministic
+	// diagonal path that repeatedly crosses the TX–RX line — used by the
+	// burst-error timeline experiment (paper Fig. 15).
+	Scripted bool
+	// HumanScatterGain overrides the geometry's human re-radiation
+	// efficiency when non-zero (how strongly the person's body itself
+	// contributes a moving multipath component).
+	HumanScatterGain float64
+}
+
+// DefaultConfig returns a laptop-scale campaign (the paper's full campaign
+// is 22,704 packets over 15 sets; see EXPERIMENTS.md for scaling notes).
+func DefaultConfig() Config {
+	return Config{
+		Sets:          15,
+		PacketsPerSet: 120,
+		PSDULen:       phy.DefaultPSDULen,
+		Seed:          1,
+		RenderImages:  true,
+		Imp:           channel.DefaultImpairments(),
+		Mobility:      room.DefaultMobility(),
+	}
+}
+
+// Packet is one synchronized (image, waveform, estimate) observation. The
+// reception itself is regenerated from LinkSeed when needed.
+type Packet struct {
+	Index    int       // packet index within the set
+	Time     float64   // transmit time within the take (seconds)
+	SeqNum   byte      // 802.15.4 sequence number
+	Pos      room.Vec3 // human position during the synchronized frame
+	LinkSeed uint64    // seed of the link realization
+
+	TrueCIR        []complex128 // oracle: the block-fading CIR applied
+	Perfect        []complex128 // LS estimate over the whole packet ("Ground Truth")
+	PerfectAligned []complex128 // Perfect, mean-phase-aligned to the campaign reference
+	PreambleEst    []complex128 // LS estimate over the SHR (always computed: "Genie")
+
+	SyncPeak         float64 // normalized preamble correlation
+	PreambleDetected bool    // whether detection passed the threshold
+
+	// Images holds the normalized depth images (row-major CropRows×CropCols,
+	// [0,1] floats) for each ImageLag; nil when rendering is disabled.
+	Images [numLags][]float32
+}
+
+// Set is one measurement take.
+type Set struct {
+	Index   int // 1-based set id as used by Table 2
+	Packets []Packet
+}
+
+// Campaign is a full generated measurement campaign plus the simulation
+// objects needed to regenerate receptions.
+type Campaign struct {
+	Cfg      Config
+	Room     *room.Room
+	Geometry *channel.Geometry
+	Model    *channel.Model
+	Receiver *estimate.Receiver
+	Camera   *camera.Camera
+	Sets     []Set
+
+	// RefCIR is the clear-room CIR every estimate is phase-aligned to.
+	RefCIR []complex128
+}
+
+// ImagePixels is the flattened size of one preprocessed depth image.
+const ImagePixels = camera.CropRows * camera.CropCols
+
+// Generate builds a campaign. Each set uses an independent random-waypoint
+// trajectory; the packet↔frame pairing follows the LED synchronization.
+func Generate(cfg Config) (*Campaign, error) {
+	if cfg.Sets <= 0 || cfg.PacketsPerSet <= 0 {
+		return nil, fmt.Errorf("dataset: need positive sets/packets, got %d/%d", cfg.Sets, cfg.PacketsPerSet)
+	}
+	if cfg.PSDULen < 4 || cfg.PSDULen > phy.MaxPSDU {
+		return nil, fmt.Errorf("dataset: PSDU length %d outside [4,%d]", cfg.PSDULen, phy.MaxPSDU)
+	}
+	lab := room.DefaultLab()
+	g := channel.NewGeometry(lab, phy.Wavelength)
+	if cfg.HumanScatterGain != 0 {
+		g.HumanScatterGain = cfg.HumanScatterGain
+	}
+	model := channel.NewModel(g, phy.SampleRate)
+	rx := estimate.NewReceiver(estimate.DefaultConfig())
+	cam := camera.New(lab, 90)
+	sync := camera.NewSynchronizer()
+
+	c := &Campaign{
+		Cfg:      cfg,
+		Room:     lab,
+		Geometry: g,
+		Model:    model,
+		Receiver: rx,
+		Camera:   cam,
+		RefCIR:   model.ProjectPaths(g.PathsClear()),
+	}
+
+	mod := phy.NewModulator()
+	for s := 0; s < cfg.Sets; s++ {
+		setSeed := cfg.Seed + uint64(s)*1_000_003
+		// Simulate the take at camera frame resolution.
+		nFrames := int(float64(cfg.PacketsPerSet)*PacketInterval*camera.FrameRate) + 8
+		framePos := make([]room.Vec3, nFrames)
+		if cfg.Scripted {
+			pts := room.ScriptedPath(lab.MovementArea, nFrames, camera.FrameInterval, 1.1)
+			for f := range framePos {
+				framePos[f] = pts[f].Pos
+			}
+		} else {
+			walker := room.NewWalker(lab.MovementArea, cfg.Mobility, rand.New(rand.NewPCG(setSeed, setSeed^0x5bd1e995)))
+			for f := range framePos {
+				framePos[f] = walker.Step(camera.FrameInterval)
+			}
+		}
+		set := Set{Index: s + 1, Packets: make([]Packet, cfg.PacketsPerSet)}
+		for k := 0; k < cfg.PacketsPerSet; k++ {
+			t := float64(k+1) * PacketInterval
+			frame := sync.FrameIndex(t)
+			if frame >= nFrames {
+				frame = nFrames - 1
+			}
+			pos := framePos[frame]
+			human := room.DefaultHuman(pos)
+			seq := byte(k % 256)
+			linkSeed := setSeed*31 + uint64(k)*2_654_435_761
+			ppdu, txWave, txChips, err := BuildTx(mod, seq, cfg.PSDULen)
+			if err != nil {
+				return nil, err
+			}
+			_ = txChips
+			link := channel.NewLink(model, cfg.Imp, rand.New(rand.NewPCG(linkSeed, linkSeed^0x9e3779b9)))
+			rec := link.Transmit(txWave, human)
+			rxc, _ := rx.CorrectCFO(rec.Waveform)
+			detected, peak, _ := rx.DetectPreamble(rxc)
+			perfect, err := rx.EstimateGroundTruth(rxc, txWave)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: set %d packet %d ground truth: %w", s+1, k, err)
+			}
+			preamble, err := rx.EstimatePreamble(rxc)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: set %d packet %d preamble estimate: %w", s+1, k, err)
+			}
+			pkt := Packet{
+				Index:            k,
+				Time:             t,
+				SeqNum:           seq,
+				Pos:              pos,
+				LinkSeed:         linkSeed,
+				TrueCIR:          rec.TrueCIR,
+				Perfect:          perfect,
+				PerfectAligned:   estimate.AlignPhase(perfect, c.RefCIR),
+				PreambleEst:      preamble,
+				SyncPeak:         peak,
+				PreambleDetected: detected,
+			}
+			if cfg.RenderImages {
+				for lag := ImageLag(0); lag < numLags; lag++ {
+					f := frame - lagFrames(lag)
+					if f < 0 {
+						f = 0
+					}
+					img := cam.RenderPreprocessed(room.DefaultHuman(framePos[f]))
+					pix := img.Normalized(cam.MaxRange)
+					f32 := make([]float32, len(pix))
+					for i, v := range pix {
+						f32[i] = float32(v)
+					}
+					pkt.Images[lag] = f32
+				}
+			}
+			set.Packets[k] = pkt
+			_ = ppdu
+		}
+		c.Sets = append(c.Sets, set)
+	}
+	return c, nil
+}
+
+func lagFrames(lag ImageLag) int {
+	switch lag {
+	case Lag33ms:
+		return 1
+	case Lag100ms:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// BuildTx assembles the PPDU, waveform and chip sequence for a sequence
+// number at the configured PSDU length.
+func BuildTx(mod *phy.Modulator, seq byte, psduLen int) (*phy.PPDU, []complex128, []byte, error) {
+	frame := &phy.Frame{SeqNum: seq, Payload: phy.DefaultPayload(psduLen)}
+	psdu, err := frame.BuildPSDU()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ppdu, err := phy.BuildPPDU(psdu)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	chips := phy.SpreadBits(ppdu.Bits)
+	wave := mod.ModulateChips(chips)
+	return ppdu, wave, chips, nil
+}
+
+// Reception regenerates the bit-exact link realization of a packet.
+func (c *Campaign) Reception(setIdx1Based, pktIdx int) (*phy.PPDU, []complex128, []byte, *channel.Reception, error) {
+	if setIdx1Based < 1 || setIdx1Based > len(c.Sets) {
+		return nil, nil, nil, nil, fmt.Errorf("dataset: set %d out of range", setIdx1Based)
+	}
+	set := c.Sets[setIdx1Based-1]
+	if pktIdx < 0 || pktIdx >= len(set.Packets) {
+		return nil, nil, nil, nil, fmt.Errorf("dataset: packet %d out of range", pktIdx)
+	}
+	pkt := set.Packets[pktIdx]
+	mod := phy.NewModulator()
+	ppdu, txWave, txChips, err := BuildTx(mod, pkt.SeqNum, c.Cfg.PSDULen)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	link := channel.NewLink(c.Model, c.Cfg.Imp, rand.New(rand.NewPCG(pkt.LinkSeed, pkt.LinkSeed^0x9e3779b9)))
+	rec := link.Transmit(txWave, room.DefaultHuman(pkt.Pos))
+	return ppdu, txWave, txChips, rec, nil
+}
+
+// Set returns the 1-based measurement set.
+func (c *Campaign) Set(idx1Based int) (*Set, error) {
+	if idx1Based < 1 || idx1Based > len(c.Sets) {
+		return nil, fmt.Errorf("dataset: set %d out of range (have %d)", idx1Based, len(c.Sets))
+	}
+	return &c.Sets[idx1Based-1], nil
+}
+
+// ErrNoImages indicates the campaign was generated without depth images.
+var ErrNoImages = errors.New("dataset: campaign generated with RenderImages=false")

@@ -1,0 +1,272 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"vvd/internal/room"
+)
+
+// campaignMagic identifies the on-disk campaign format ("VVDC" + version).
+const campaignMagic = 0x56564443
+
+// Save writes the campaign (configuration, per-packet estimates and depth
+// images) in a compact little-endian binary format — the repository's
+// equivalent of the paper's published trace.
+func (c *Campaign) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	le := binary.LittleEndian
+	wU32 := func(v uint32) error { return binary.Write(bw, le, v) }
+	wF64 := func(v float64) error { return binary.Write(bw, le, v) }
+	if err := wU32(campaignMagic); err != nil {
+		return err
+	}
+	hdr := []uint32{
+		uint32(c.Cfg.Sets), uint32(c.Cfg.PacketsPerSet), uint32(c.Cfg.PSDULen),
+		uint32(c.Cfg.Seed), uint32(c.Cfg.Seed >> 32), boolU32(c.Cfg.RenderImages), boolU32(c.Cfg.Scripted),
+	}
+	for _, v := range hdr {
+		if err := wU32(v); err != nil {
+			return err
+		}
+	}
+	for _, v := range []float64{
+		c.Cfg.Imp.SNRdB, c.Cfg.Imp.PhaseStdDev, c.Cfg.Imp.CFOStdDevHz,
+		c.Cfg.Mobility.SpeedMin, c.Cfg.Mobility.SpeedMax, c.Cfg.Mobility.PauseTime,
+	} {
+		if err := wF64(v); err != nil {
+			return err
+		}
+	}
+	writeCVec := func(v []complex128) error {
+		if err := wU32(uint32(len(v))); err != nil {
+			return err
+		}
+		for _, x := range v {
+			if err := wF64(real(x)); err != nil {
+				return err
+			}
+			if err := wF64(imag(x)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, set := range c.Sets {
+		for _, p := range set.Packets {
+			if err := wU32(uint32(p.Index)); err != nil {
+				return err
+			}
+			if err := wF64(p.Time); err != nil {
+				return err
+			}
+			if err := wU32(uint32(p.SeqNum)); err != nil {
+				return err
+			}
+			for _, v := range []float64{p.Pos.X, p.Pos.Y, p.Pos.Z, p.SyncPeak} {
+				if err := wF64(v); err != nil {
+					return err
+				}
+			}
+			if err := binary.Write(bw, le, p.LinkSeed); err != nil {
+				return err
+			}
+			if err := wU32(boolU32(p.PreambleDetected)); err != nil {
+				return err
+			}
+			for _, vec := range [][]complex128{p.TrueCIR, p.Perfect, p.PerfectAligned, p.PreambleEst} {
+				if err := writeCVec(vec); err != nil {
+					return err
+				}
+			}
+			for lag := ImageLag(0); lag < numLags; lag++ {
+				img := p.Images[lag]
+				if err := wU32(uint32(len(img))); err != nil {
+					return err
+				}
+				if len(img) > 0 {
+					if err := binary.Write(bw, le, img); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func boolU32(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// LoadCampaign reads a campaign written by Save, rebuilding the simulation
+// objects from the stored configuration.
+func LoadCampaign(r io.Reader) (*Campaign, error) {
+	br := bufio.NewReader(r)
+	le := binary.LittleEndian
+	rU32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(br, le, &v)
+		return v, err
+	}
+	rF64 := func() (float64, error) {
+		var v float64
+		err := binary.Read(br, le, &v)
+		return v, err
+	}
+	magic, err := rU32()
+	if err != nil {
+		return nil, err
+	}
+	if magic != campaignMagic {
+		return nil, errors.New("dataset: bad campaign magic")
+	}
+	var hdr [7]uint32
+	for i := range hdr {
+		if hdr[i], err = rU32(); err != nil {
+			return nil, err
+		}
+	}
+	cfg := Config{
+		Sets:          int(hdr[0]),
+		PacketsPerSet: int(hdr[1]),
+		PSDULen:       int(hdr[2]),
+		Seed:          uint64(hdr[3]) | uint64(hdr[4])<<32,
+		RenderImages:  hdr[5] != 0,
+		Scripted:      hdr[6] != 0,
+	}
+	if cfg.Sets <= 0 || cfg.Sets > 1024 || cfg.PacketsPerSet <= 0 || cfg.PacketsPerSet > 1_000_000 {
+		return nil, fmt.Errorf("dataset: implausible campaign header %dx%d", cfg.Sets, cfg.PacketsPerSet)
+	}
+	flts := make([]float64, 6)
+	for i := range flts {
+		if flts[i], err = rF64(); err != nil {
+			return nil, err
+		}
+	}
+	cfg.Imp.SNRdB, cfg.Imp.PhaseStdDev, cfg.Imp.CFOStdDevHz = flts[0], flts[1], flts[2]
+	cfg.Mobility.SpeedMin, cfg.Mobility.SpeedMax, cfg.Mobility.PauseTime = flts[3], flts[4], flts[5]
+
+	// Rebuild the simulation environment exactly as Generate does, but fill
+	// packets from the stream instead of simulating.
+	mob := cfg.Mobility
+	if mob.SpeedMax <= 0 {
+		mob = room.DefaultMobility()
+	}
+	shell, err := Generate(Config{
+		Sets: 1, PacketsPerSet: 1, PSDULen: cfg.PSDULen, Seed: cfg.Seed,
+		Imp: cfg.Imp, Mobility: mob,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := &Campaign{
+		Cfg:      cfg,
+		Room:     shell.Room,
+		Geometry: shell.Geometry,
+		Model:    shell.Model,
+		Receiver: shell.Receiver,
+		Camera:   shell.Camera,
+		RefCIR:   shell.RefCIR,
+	}
+
+	readCVec := func() ([]complex128, error) {
+		n, err := rU32()
+		if err != nil {
+			return nil, err
+		}
+		if n > 4096 {
+			return nil, errors.New("dataset: implausible CIR length")
+		}
+		out := make([]complex128, n)
+		for i := range out {
+			re, err := rF64()
+			if err != nil {
+				return nil, err
+			}
+			im, err := rF64()
+			if err != nil {
+				return nil, err
+			}
+			if math.IsNaN(re) || math.IsNaN(im) {
+				return nil, errors.New("dataset: NaN in stored CIR")
+			}
+			out[i] = complex(re, im)
+		}
+		return out, nil
+	}
+
+	for s := 0; s < cfg.Sets; s++ {
+		set := Set{Index: s + 1, Packets: make([]Packet, cfg.PacketsPerSet)}
+		for k := 0; k < cfg.PacketsPerSet; k++ {
+			var p Packet
+			idx, err := rU32()
+			if err != nil {
+				return nil, err
+			}
+			p.Index = int(idx)
+			if p.Time, err = rF64(); err != nil {
+				return nil, err
+			}
+			seq, err := rU32()
+			if err != nil {
+				return nil, err
+			}
+			p.SeqNum = byte(seq)
+			var pos [4]float64
+			for i := range pos {
+				if pos[i], err = rF64(); err != nil {
+					return nil, err
+				}
+			}
+			p.Pos.X, p.Pos.Y, p.Pos.Z, p.SyncPeak = pos[0], pos[1], pos[2], pos[3]
+			if err := binary.Read(br, le, &p.LinkSeed); err != nil {
+				return nil, err
+			}
+			det, err := rU32()
+			if err != nil {
+				return nil, err
+			}
+			p.PreambleDetected = det != 0
+			if p.TrueCIR, err = readCVec(); err != nil {
+				return nil, err
+			}
+			if p.Perfect, err = readCVec(); err != nil {
+				return nil, err
+			}
+			if p.PerfectAligned, err = readCVec(); err != nil {
+				return nil, err
+			}
+			if p.PreambleEst, err = readCVec(); err != nil {
+				return nil, err
+			}
+			for lag := ImageLag(0); lag < numLags; lag++ {
+				n, err := rU32()
+				if err != nil {
+					return nil, err
+				}
+				if n == 0 {
+					continue
+				}
+				if n > 10_000_000 {
+					return nil, errors.New("dataset: implausible image size")
+				}
+				img := make([]float32, n)
+				if err := binary.Read(br, le, img); err != nil {
+					return nil, err
+				}
+				p.Images[lag] = img
+			}
+			set.Packets[k] = p
+		}
+		c.Sets = append(c.Sets, set)
+	}
+	return c, nil
+}

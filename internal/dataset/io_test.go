@@ -1,0 +1,110 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCampaignSaveLoadRoundTrip(t *testing.T) {
+	orig, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCampaign(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Cfg.Sets != orig.Cfg.Sets || loaded.Cfg.PSDULen != orig.Cfg.PSDULen {
+		t.Fatalf("config mismatch: %+v", loaded.Cfg)
+	}
+	if len(loaded.Sets) != len(orig.Sets) {
+		t.Fatalf("sets = %d", len(loaded.Sets))
+	}
+	for si := range orig.Sets {
+		for ki := range orig.Sets[si].Packets {
+			a := orig.Sets[si].Packets[ki]
+			b := loaded.Sets[si].Packets[ki]
+			if a.Pos != b.Pos || a.SeqNum != b.SeqNum || a.LinkSeed != b.LinkSeed ||
+				a.PreambleDetected != b.PreambleDetected {
+				t.Fatalf("packet %d/%d metadata mismatch", si, ki)
+			}
+			for i := range a.Perfect {
+				if a.Perfect[i] != b.Perfect[i] || a.PerfectAligned[i] != b.PerfectAligned[i] {
+					t.Fatalf("packet %d/%d estimates mismatch", si, ki)
+				}
+			}
+			for lag := ImageLag(0); lag < numLags; lag++ {
+				if len(a.Images[lag]) != len(b.Images[lag]) {
+					t.Fatalf("packet %d/%d image lag %d length mismatch", si, ki, lag)
+				}
+				for i := range a.Images[lag] {
+					if a.Images[lag][i] != b.Images[lag][i] {
+						t.Fatalf("packet %d/%d image pixel mismatch", si, ki)
+					}
+				}
+			}
+		}
+	}
+	// The loaded campaign must regenerate identical receptions.
+	_, _, _, recA, err := orig.Reception(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, recB, err := loaded.Reception(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recA.Waveform {
+		if recA.Waveform[i] != recB.Waveform[i] {
+			t.Fatal("loaded campaign regenerates different waveforms")
+		}
+	}
+}
+
+func TestCampaignSaveLoadWithoutImages(t *testing.T) {
+	cfg := smallConfig()
+	cfg.RenderImages = false
+	orig, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCampaign(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Sets[0].Packets[0].Images[LagCurrent] != nil {
+		t.Fatal("images materialized from nothing")
+	}
+}
+
+func TestLoadCampaignGarbage(t *testing.T) {
+	if _, err := LoadCampaign(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadCampaign(bytes.NewReader(make([]byte, 64))); err == nil {
+		t.Fatal("zero blob accepted")
+	}
+}
+
+func TestLoadCampaignTruncated(t *testing.T) {
+	orig, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := LoadCampaign(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Fatal("truncated campaign accepted")
+	}
+}

@@ -1,0 +1,150 @@
+// Package estimate implements the data-based channel estimation stack of
+// the paper: linear least-squares CIR estimation (Eq. 4), LS zero-forcing
+// equalization (Eq. 6–7), mean phase-shift estimation and correction
+// (Eq. 8), carrier-frequency-offset estimation from the periodic preamble,
+// preamble detection, and the complete receiver decode chain shared by
+// every compared technique.
+package estimate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"vvd/internal/dsp"
+	"vvd/internal/mathx"
+	"vvd/internal/phy"
+)
+
+// ErrShortObservation is returned when the received slice cannot cover the
+// reference samples needed for an estimate.
+var ErrShortObservation = errors.New("estimate: received signal shorter than reference window")
+
+// LS computes the least-squares FIR channel estimate of Eq. 4:
+//
+//	ĥ = (XᴴX)⁻¹ Xᴴ y
+//
+// where X is the convolution matrix (Eq. 5) of the known transmitted
+// samples and y the received samples over the same window. len(rx) must be
+// at least len(known)+taps−1.
+func LS(known, rx []complex128, taps int) ([]complex128, error) {
+	if taps <= 0 {
+		return nil, fmt.Errorf("estimate: LS needs taps > 0, got %d", taps)
+	}
+	if len(known) == 0 {
+		return nil, errors.New("estimate: LS needs known samples")
+	}
+	rows := len(known) + taps - 1
+	if len(rx) < rows {
+		return nil, fmt.Errorf("%w: need %d have %d", ErrShortObservation, rows, len(rx))
+	}
+	x := mathx.ConvolutionMatrix(known, taps)
+	return mathx.LeastSquares(x, rx[:rows])
+}
+
+// ZF computes the LS zero-forcing equalizer of Eq. 6–7: an L-tap FIR filter
+// c such that h*c ≈ δ at the returned decision delay. The delay (the u
+// vector's '1' position) is placed at the centre of the combined response,
+// which accommodates the pre-cursor taps of the channel estimate.
+func ZF(h []complex128, l int) (c []complex128, delay int, err error) {
+	if l <= 0 {
+		return nil, 0, fmt.Errorf("estimate: ZF needs L > 0, got %d", l)
+	}
+	if len(h) == 0 {
+		return nil, 0, errors.New("estimate: ZF needs a channel estimate")
+	}
+	if mathx.MaxAbs(h) == 0 {
+		return nil, 0, errors.New("estimate: ZF on all-zero channel")
+	}
+	hm := mathx.ConvolutionMatrix(h, l)
+	rows := len(h) + l - 1
+	delay = rows / 2
+	u := make([]complex128, rows)
+	u[delay] = 1
+	c, err = mathx.LeastSquares(hm, u)
+	if err != nil {
+		return nil, 0, err
+	}
+	return c, delay, nil
+}
+
+// Equalize applies equalizer c to rx and returns n samples aligned with the
+// transmitted waveform: out[i] = (c*rx)[i+delay].
+func Equalize(rx, c []complex128, delay, n int) []complex128 {
+	full := dsp.Convolve(rx, c)
+	out := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		if idx := i + delay; idx < len(full) {
+			out[i] = full[idx]
+		}
+	}
+	return out
+}
+
+// MeanPhaseShift implements Eq. 8: the phase of the correlation between two
+// complex vectors, θ̂ = arg{a·bᴴ}. For channel estimates of the same
+// environment taken by imperfect crystals this captures the common phase
+// offset between them.
+func MeanPhaseShift(a, b []complex128) float64 {
+	return cmplx.Phase(mathx.Dot(a, b))
+}
+
+// AlignPhase de-rotates h by its mean phase shift relative to ref,
+// returning a copy of h whose common phase matches ref.
+func AlignPhase(h, ref []complex128) []complex128 {
+	theta := MeanPhaseShift(h, ref)
+	return dsp.Rotate(h, -theta)
+}
+
+// EstimateCFO estimates a carrier frequency offset from the periodic
+// preamble: the preamble repeats every PreamblePeriodSamples, so
+// arg Σ rx[n+lag]·conj(rx[n]) equals 2π·f·lag/fs for any lag that is a
+// multiple of the period, regardless of the (static) channel. A longer lag
+// divides the phase-noise floor by the lag, so the caller should use the
+// largest lag the preamble allows. Accumulation runs over
+// rx[start:start+span]; the caller must keep start ≥ one period (startup
+// transient) and start+span+lag inside the preamble.
+func EstimateCFO(rx []complex128, lag, start, span int, fs float64) float64 {
+	if lag <= 0 || start < 0 || len(rx) < start+lag+2 {
+		return 0
+	}
+	if span > len(rx)-lag-start {
+		span = len(rx) - lag - start
+	}
+	var acc complex128
+	for n := start; n < start+span; n++ {
+		acc += rx[n+lag] * cmplx.Conj(rx[n])
+	}
+	if acc == 0 {
+		return 0
+	}
+	return cmplx.Phase(acc) * fs / (2 * math.Pi * float64(lag))
+}
+
+// Boxcar applies an n-sample moving-average prefilter. The O-QPSK signal
+// occupies only the lower quarter of the 8 MHz capture bandwidth, so a
+// short boxcar suppresses out-of-band noise ahead of CFO estimation
+// without distorting the periodicity.
+func Boxcar(x []complex128, n int) []complex128 {
+	if n <= 1 {
+		out := make([]complex128, len(x))
+		copy(out, x)
+		return out
+	}
+	out := make([]complex128, len(x))
+	var acc complex128
+	scale := complex(1/float64(n), 0)
+	for i, v := range x {
+		acc += v
+		if i >= n {
+			acc -= x[i-n]
+		}
+		out[i] = acc * scale
+	}
+	return out
+}
+
+// PreamblePeriodSamples is the periodicity of the 802.15.4 preamble
+// waveform: one symbol-0 PN sequence of 32 chips.
+const PreamblePeriodSamples = phy.ChipsPerSymbol * phy.SamplesPerChip

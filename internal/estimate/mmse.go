@@ -1,0 +1,115 @@
+package estimate
+
+import (
+	"errors"
+	"fmt"
+
+	"vvd/internal/mathx"
+)
+
+// MMSE computes the linear minimum-mean-square-error channel estimate:
+//
+//	ĥ = (XᴴX + (σ²/σ_h²)·I)⁻¹ Xᴴ y
+//
+// i.e. LS with diagonal loading proportional to the noise-to-channel power
+// ratio. The paper uses plain LS throughout and explicitly leaves
+// noise-aware estimation "as future work to keep the proof of image based
+// channel estimation simple" (§5); this implements that future work. In
+// the low-SNR regime MMSE shrinks the noisy taps toward zero, which is
+// exactly where the paper notes LS "is not the best fit" (§6.6).
+//
+// noiseVar is the per-sample noise power of rx; priorVar the expected
+// per-tap channel power. Either may be estimated with NoiseVariance /
+// PriorVariance.
+func MMSE(known, rx []complex128, taps int, noiseVar, priorVar float64) ([]complex128, error) {
+	if taps <= 0 {
+		return nil, fmt.Errorf("estimate: MMSE needs taps > 0, got %d", taps)
+	}
+	if len(known) == 0 {
+		return nil, errors.New("estimate: MMSE needs known samples")
+	}
+	rows := len(known) + taps - 1
+	if len(rx) < rows {
+		return nil, fmt.Errorf("%w: need %d have %d", ErrShortObservation, rows, len(rx))
+	}
+	if priorVar <= 0 {
+		return nil, errors.New("estimate: MMSE needs positive prior variance")
+	}
+	if noiseVar < 0 {
+		noiseVar = 0
+	}
+	x := mathx.ConvolutionMatrix(known, taps)
+	xh := x.Hermitian()
+	xhx, err := xh.Mul(x)
+	if err != nil {
+		return nil, err
+	}
+	load := complex(noiseVar/priorVar, 0)
+	for i := 0; i < taps; i++ {
+		xhx.Set(i, i, xhx.At(i, i)+load)
+	}
+	xhy, err := xh.MulVec(rx[:rows])
+	if err != nil {
+		return nil, err
+	}
+	return mathx.Solve(xhx, xhy)
+}
+
+// NoiseVariance estimates the per-sample noise power from the residual of
+// an LS fit: σ² = ‖y − X·ĥ‖² / (M − N) over the reference window.
+func NoiseVariance(known, rx []complex128, hEst []complex128) (float64, error) {
+	if len(known) == 0 || len(hEst) == 0 {
+		return 0, errors.New("estimate: NoiseVariance needs inputs")
+	}
+	rows := len(known) + len(hEst) - 1
+	if len(rx) < rows {
+		return 0, ErrShortObservation
+	}
+	x := mathx.ConvolutionMatrix(known, len(hEst))
+	pred, err := x.MulVec(hEst)
+	if err != nil {
+		return 0, err
+	}
+	var res float64
+	for i := 0; i < rows; i++ {
+		d := rx[i] - pred[i]
+		res += real(d)*real(d) + imag(d)*imag(d)
+	}
+	dof := rows - len(hEst)
+	if dof <= 0 {
+		dof = 1
+	}
+	return res / float64(dof), nil
+}
+
+// PriorVariance estimates the per-tap channel power from an existing
+// estimate: σ_h² = ‖ĥ‖²/N.
+func PriorVariance(hEst []complex128) float64 {
+	if len(hEst) == 0 {
+		return 0
+	}
+	var s float64
+	for _, c := range hEst {
+		s += real(c)*real(c) + imag(c)*imag(c)
+	}
+	return s / float64(len(hEst))
+}
+
+// EstimatePreambleMMSE is the MMSE counterpart of EstimatePreamble: it
+// bootstraps noise and prior statistics from a first LS pass over the SHR,
+// then solves the regularized system.
+func (r *Receiver) EstimatePreambleMMSE(rx []complex128) ([]complex128, error) {
+	ls, err := r.EstimatePreamble(rx)
+	if err != nil {
+		return nil, err
+	}
+	noiseVar, err := NoiseVariance(r.shrKnown, rx, ls)
+	if err != nil {
+		return nil, err
+	}
+	prior := PriorVariance(ls)
+	if prior <= 0 {
+		return ls, nil
+	}
+	return MMSE(r.shrKnown, rx, r.Cfg.CIRTaps, noiseVar, prior)
+}

@@ -1,0 +1,141 @@
+package estimate
+
+import (
+	"math/cmplx"
+	"math/rand/v2"
+	"testing"
+
+	"vvd/internal/channel"
+	"vvd/internal/dsp"
+)
+
+func TestMMSEMatchesLSAtHighSNR(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	known := randSignal(rng, 500)
+	h := []complex128{0.8, 0.3i, -0.1}
+	rx := dsp.Convolve(known, h)
+	ls, err := LS(known, rx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mmse, err := MMSE(known, rx, 3, 1e-12, PriorVariance(ls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ls {
+		if cmplx.Abs(ls[i]-mmse[i]) > 1e-6 {
+			t.Fatalf("tap %d: MMSE %v deviates from LS %v at zero noise", i, mmse[i], ls[i])
+		}
+	}
+}
+
+func TestMMSEBeatsLSAtLowSNR(t *testing.T) {
+	// With strong noise, MMSE shrinkage must reduce the estimation error
+	// on average — the paper's §6.6 remark about LS in the low-SNR regime.
+	rng := rand.New(rand.NewPCG(3, 4))
+	var lsErr, mmseErr float64
+	h := []complex128{0.9, 0.25i, -0.15, 0.05}
+	for trial := 0; trial < 30; trial++ {
+		known := randSignal(rng, 120)
+		clean := dsp.Convolve(known, h)
+		noiseVar := dsp.Power(clean) * 2 // −3 dB SNR
+		rx := dsp.AddNoise(clean, noiseVar, rng)
+		ls, err := LS(known, rx, len(h))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mmse, err := MMSE(known, rx, len(h), noiseVar, PriorVariance(h))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range h {
+			dl := ls[i] - h[i]
+			dm := mmse[i] - h[i]
+			lsErr += real(dl)*real(dl) + imag(dl)*imag(dl)
+			mmseErr += real(dm)*real(dm) + imag(dm)*imag(dm)
+		}
+	}
+	if mmseErr >= lsErr {
+		t.Fatalf("MMSE error %v not below LS error %v at −3 dB", mmseErr, lsErr)
+	}
+}
+
+func TestMMSEErrors(t *testing.T) {
+	if _, err := MMSE(nil, []complex128{1}, 1, 0, 1); err == nil {
+		t.Fatal("empty known accepted")
+	}
+	if _, err := MMSE([]complex128{1}, []complex128{1}, 0, 0, 1); err == nil {
+		t.Fatal("zero taps accepted")
+	}
+	if _, err := MMSE([]complex128{1, 2}, []complex128{1}, 3, 0, 1); err == nil {
+		t.Fatal("short rx accepted")
+	}
+	if _, err := MMSE([]complex128{1, 2, 3}, []complex128{1, 2, 3, 4}, 2, 0, 0); err == nil {
+		t.Fatal("zero prior accepted")
+	}
+}
+
+func TestNoiseVarianceEstimate(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	known := randSignal(rng, 2000)
+	h := []complex128{0.7, 0.2i}
+	clean := dsp.Convolve(known, h)
+	want := 0.25
+	rx := dsp.AddNoise(clean, want, rng)
+	est, err := LS(known, rx, len(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NoiseVariance(known, rx, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < want*0.8 || got > want*1.2 {
+		t.Fatalf("noise variance %v want ≈ %v", got, want)
+	}
+}
+
+func TestNoiseVarianceErrors(t *testing.T) {
+	if _, err := NoiseVariance(nil, nil, nil); err == nil {
+		t.Fatal("empty inputs accepted")
+	}
+	if _, err := NoiseVariance([]complex128{1, 2}, []complex128{1}, []complex128{1, 1}); err == nil {
+		t.Fatal("short rx accepted")
+	}
+}
+
+func TestPriorVariance(t *testing.T) {
+	if PriorVariance(nil) != 0 {
+		t.Fatal("empty prior must be 0")
+	}
+	if got := PriorVariance([]complex128{2, 2i}); got != 4 {
+		t.Fatalf("prior = %v want 4", got)
+	}
+}
+
+func TestEstimatePreambleMMSEOnSimulatedPacket(t *testing.T) {
+	fx := makeFixture(t, channel.Impairments{SNRdB: 12, PhaseStdDev: 0.4}, clearHuman(), 501)
+	r := NewReceiver(DefaultConfig())
+	rx, _ := r.CorrectCFO(fx.rec.Waveform)
+	mmse, err := r.EstimatePreambleMMSE(rx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mmse) != r.Cfg.CIRTaps {
+		t.Fatalf("taps = %d", len(mmse))
+	}
+	// MMSE estimate must still decode the packet.
+	res := r.Decode(rx, fx.ppdu, fx.txChips, mmse)
+	if !res.PacketOK {
+		t.Fatalf("MMSE estimate failed to decode: CER %v", res.CER())
+	}
+	// Shrinkage: the MMSE estimate's norm cannot exceed the LS norm by a
+	// meaningful margin.
+	ls, err := r.EstimatePreamble(rx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if PriorVariance(mmse) > PriorVariance(ls)*1.01 {
+		t.Fatal("MMSE did not shrink relative to LS")
+	}
+}

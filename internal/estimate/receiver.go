@@ -1,0 +1,192 @@
+package estimate
+
+import (
+	"errors"
+
+	"vvd/internal/dsp"
+	"vvd/internal/phy"
+)
+
+// Config parameterizes the receiver chain.
+type Config struct {
+	CIRTaps           int     // N, FIR length of channel estimates (paper: 11)
+	EqTaps            int     // L, FIR length of the ZF equalizer
+	PreambleThreshold float64 // normalized sync-peak threshold for detection
+	MaxSyncLag        int     // search window for coarse frame timing
+	// SkipPhaseCorrection disables the Eq. 8 mean phase correction in
+	// Decode — an ablation switch showing the correction is load-bearing
+	// for blind estimates that cannot know the packet's crystal phase.
+	SkipPhaseCorrection bool
+	// SoftDespreading correlates soft chip values against the PN set
+	// instead of hard Hamming-distance despreading (an extension beyond
+	// the paper's receiver, worth ~1-2 dB near threshold).
+	SoftDespreading bool
+}
+
+// DefaultConfig mirrors the paper's estimation settings.
+func DefaultConfig() Config {
+	return Config{CIRTaps: 11, EqTaps: 41, PreambleThreshold: 0.64, MaxSyncLag: 16}
+}
+
+// Receiver is the decode chain shared by every channel-estimation
+// technique: CFO correction → (ZF equalization) → mean phase correction →
+// chip decisions → despreading → FCS check. Only the channel estimate
+// differs between techniques (paper §5.1).
+type Receiver struct {
+	Cfg  Config
+	Refs *phy.ReferenceWaveforms
+
+	// shrKnown is the SHR reference truncated to whole chips (the trailing
+	// half-pulse overlaps the PHR in a real packet).
+	shrKnown []complex128
+}
+
+// NewReceiver builds a receiver with the given configuration.
+func NewReceiver(cfg Config) *Receiver {
+	refs := phy.NewReferenceWaveforms()
+	shrSamples := phy.SyncSymbols * phy.ChipsPerSymbol * phy.SamplesPerChip
+	return &Receiver{Cfg: cfg, Refs: refs, shrKnown: refs.SHR[:shrSamples]}
+}
+
+// CorrectCFO estimates the carrier frequency offset from the periodic
+// preamble and returns the corrected waveform along with the estimate.
+// The estimator prefilters to the signal band and correlates at half the
+// preamble length for the lowest phase-noise floor.
+func (r *Receiver) CorrectCFO(rx []complex128) ([]complex128, float64) {
+	preamble := phy.PreambleBytes * 2 * phy.ChipsPerSymbol * phy.SamplesPerChip // 1024
+	lag := preamble / 2                                                         // 4 periods
+	start := PreamblePeriodSamples                                              // skip startup transient
+	span := preamble - lag - start
+	filtered := Boxcar(rx, phy.SamplesPerChip)
+	cfo := EstimateCFO(filtered, lag, start, span, phy.SampleRate)
+	if cfo == 0 {
+		out := make([]complex128, len(rx))
+		copy(out, rx)
+		return out, 0
+	}
+	return dsp.ApplyCFO(rx, -cfo, phy.SampleRate), cfo
+}
+
+// DetectPreamble computes the normalized sync correlation peak and compares
+// it against the detection threshold. Deep fades (blocked LoS) and noise
+// push the peak below threshold, reproducing the preamble detection
+// failures that hold back preamble-based estimation in the paper.
+func (r *Receiver) DetectPreamble(rx []complex128) (detected bool, peak float64, lag int) {
+	peak, lag = r.Refs.NormalizedSyncPeak(rx, r.Cfg.MaxSyncLag)
+	return peak >= r.Cfg.PreambleThreshold, peak, lag
+}
+
+// EstimateGroundTruth performs LS estimation over the whole transmitted
+// waveform ("Perfect Channel Estimation"): practically impossible at a real
+// receiver, used as the baseline (paper §5.2).
+func (r *Receiver) EstimateGroundTruth(rx, txWave []complex128) ([]complex128, error) {
+	return LS(txWave, rx, r.Cfg.CIRTaps)
+}
+
+// EstimatePreamble performs LS estimation over the known synchronization
+// header only (paper Fig. 9, "Preamble Based").
+func (r *Receiver) EstimatePreamble(rx []complex128) ([]complex128, error) {
+	return LS(r.shrKnown, rx, r.Cfg.CIRTaps)
+}
+
+// Result summarizes the decode of a single packet.
+type Result struct {
+	PacketOK   bool    // FCS valid after decode
+	ChipErrors int     // wrong hard chips over the PSDU
+	PSDUChips  int     // total PSDU chips compared
+	SyncPeak   float64 // normalized preamble correlation
+	CFO        float64 // estimated carrier frequency offset (Hz)
+	Phase      float64 // mean phase correction applied (radians)
+}
+
+// CER returns the chip error rate of this decode.
+func (res *Result) CER() float64 {
+	if res.PSDUChips == 0 {
+		return 0
+	}
+	return float64(res.ChipErrors) / float64(res.PSDUChips)
+}
+
+// ErrNoEstimate signals a decode that required an estimate but got none.
+var ErrNoEstimate = errors.New("estimate: nil channel estimate")
+
+// Decode runs the chain on a CFO-corrected waveform with the given channel
+// estimate. A nil estimate selects Standard Decoding (no equalization; the
+// receiver aligns on the correlation peak only, per paper §5.1).
+// txChips are the true transmitted chips, used to count chip errors.
+func (r *Receiver) Decode(rx []complex128, ppdu *phy.PPDU, txChips []byte, h []complex128) Result {
+	var res Result
+	nchips := len(ppdu.Bits) / phy.BitsPerSymbol * phy.ChipsPerSymbol
+	txLen := phy.WaveformLen(nchips)
+
+	var aligned []complex128
+	if h == nil {
+		// Standard decoding (paper §5.1): frequency offset correction and
+		// frame synchronization only — no equalization. Synchronization
+		// yields coarse timing and carrier phase; it cannot compensate the
+		// channel's frequency selectivity or inter-sample interference.
+		_, peak, lag := r.DetectPreamble(rx)
+		res.SyncPeak = peak
+		if lag < len(rx) {
+			aligned = rx[lag:]
+		} else {
+			aligned = rx
+		}
+	} else {
+		c, delay, err := ZF(h, r.Cfg.EqTaps)
+		if err != nil {
+			return res // undecodable estimate → packet error
+		}
+		aligned = Equalize(rx, c, delay, txLen)
+	}
+
+	// Carrier phase recovery from the known SHR: for equalized techniques
+	// this is the Eq. 8 / footnote 4 mean phase correction reverting the
+	// unknown crystal offset; for standard decoding it is the phase of the
+	// synchronization correlation.
+	if !r.Cfg.SkipPhaseCorrection {
+		n := len(r.shrKnown)
+		if n > len(aligned) {
+			n = len(aligned)
+		}
+		theta := MeanPhaseShift(aligned[:n], r.shrKnown[:n])
+		res.Phase = theta
+		aligned = dsp.Rotate(aligned, -theta)
+	}
+
+	// Matched filtering ahead of the chip decisions (suppresses
+	// out-of-band noise, including ZF-enhanced noise).
+	aligned = phy.MatchedFilter(aligned)
+
+	chips := phy.ChipDecisions(aligned, nchips)
+
+	// Chip errors over the PSDU region.
+	headerChips := (len(ppdu.Bits) - ppdu.PSDUBits) / phy.BitsPerSymbol * phy.ChipsPerSymbol
+	res.PSDUChips = nchips - headerChips
+	for i := headerChips; i < nchips && i < len(txChips); i++ {
+		if chips[i] != txChips[i] {
+			res.ChipErrors++
+		}
+	}
+
+	// Despread and validate.
+	var bits []byte
+	if r.Cfg.SoftDespreading {
+		bits = phy.DespreadSoft(phy.SoftChips(aligned, nchips))
+	} else {
+		bits = phy.DespreadChips(chips)
+	}
+	if len(bits)%8 != 0 {
+		return res
+	}
+	raw := phy.BitsToBytes(bits)
+	hdr := phy.PreambleBytes + 2 // preamble + SFD + PHR
+	if len(raw) < hdr+ppdu.PSDULen {
+		return res
+	}
+	psdu := raw[hdr : hdr+ppdu.PSDULen]
+	if _, err := phy.ParsePSDU(psdu); err == nil {
+		res.PacketOK = true
+	}
+	return res
+}

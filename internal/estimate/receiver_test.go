@@ -1,0 +1,272 @@
+package estimate
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"vvd/internal/channel"
+	"vvd/internal/dsp"
+	"vvd/internal/phy"
+	"vvd/internal/room"
+)
+
+// packetFixture builds one transmitted packet and its reception through the
+// simulated lab channel.
+type packetFixture struct {
+	ppdu    *phy.PPDU
+	txChips []byte
+	txWave  []complex128
+	rec     *channel.Reception
+	model   *channel.Model
+}
+
+func makeFixture(t *testing.T, imp channel.Impairments, h room.Human, seed uint64) *packetFixture {
+	t.Helper()
+	frame := &phy.Frame{SeqNum: 5, Payload: phy.DefaultPayload(32)}
+	psdu, err := frame.BuildPSDU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppdu, err := phy.BuildPPDU(psdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := phy.NewModulator()
+	chips := phy.SpreadBits(ppdu.Bits)
+	wave := mod.ModulateChips(chips)
+	g := channel.NewGeometry(room.DefaultLab(), phy.Wavelength)
+	m := channel.NewModel(g, phy.SampleRate)
+	link := channel.NewLink(m, imp, rand.New(rand.NewPCG(seed, seed+1)))
+	rec := link.Transmit(wave, h)
+	return &packetFixture{ppdu: ppdu, txChips: chips, txWave: wave, rec: rec, model: m}
+}
+
+func clearHuman() room.Human   { return room.DefaultHuman(room.Vec3{X: 2.2, Y: 4.7}) }
+func blockedHuman() room.Human { return room.DefaultHuman(room.Vec3{X: 4, Y: 3}) }
+
+func TestGroundTruthEstimateMatchesTrueCIR(t *testing.T) {
+	fx := makeFixture(t, channel.Impairments{SNRdB: 40}, clearHuman(), 11)
+	r := NewReceiver(DefaultConfig())
+	rx, _ := r.CorrectCFO(fx.rec.Waveform)
+	got, err := r.EstimateGroundTruth(rx, fx.txWave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The estimate includes the packet's crystal phase; align it out.
+	aligned := AlignPhase(got, fx.rec.TrueCIR)
+	var diff, ref float64
+	for i := range aligned {
+		diff += sq(aligned[i] - fx.rec.TrueCIR[i])
+		ref += sq(fx.rec.TrueCIR[i])
+	}
+	if diff/ref > 0.01 {
+		t.Fatalf("relative CIR error %v too large", diff/ref)
+	}
+}
+
+func sq(c complex128) float64 { return real(c)*real(c) + imag(c)*imag(c) }
+
+func TestDecodeWithGroundTruthSucceeds(t *testing.T) {
+	fx := makeFixture(t, channel.DefaultImpairments(), clearHuman(), 21)
+	r := NewReceiver(DefaultConfig())
+	rx, _ := r.CorrectCFO(fx.rec.Waveform)
+	h, err := r.EstimateGroundTruth(rx, fx.txWave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Decode(rx, fx.ppdu, fx.txChips, h)
+	if !res.PacketOK {
+		t.Fatalf("ground-truth decode failed: %d/%d chip errors", res.ChipErrors, res.PSDUChips)
+	}
+	if res.CER() > 0.05 {
+		t.Fatalf("CER %v too high with perfect estimate", res.CER())
+	}
+}
+
+func TestDecodeWithPreambleEstimateSucceeds(t *testing.T) {
+	fx := makeFixture(t, channel.DefaultImpairments(), clearHuman(), 31)
+	r := NewReceiver(DefaultConfig())
+	rx, _ := r.CorrectCFO(fx.rec.Waveform)
+	h, err := r.EstimatePreamble(rx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Decode(rx, fx.ppdu, fx.txChips, h)
+	if !res.PacketOK {
+		t.Fatalf("preamble decode failed: %d/%d chip errors", res.ChipErrors, res.PSDUChips)
+	}
+}
+
+func TestDecodeWithTrueCIRAndPhaseAlignment(t *testing.T) {
+	// Decoding with the true (unrotated) CIR exercises the Eq. 8 phase
+	// correction path: the packet's crystal phase is unknown to the
+	// estimate, and the preamble-based mean phase correction must fix it.
+	fx := makeFixture(t, channel.Impairments{SNRdB: 20, PhaseStdDev: 1.5}, clearHuman(), 41)
+	r := NewReceiver(DefaultConfig())
+	rx, _ := r.CorrectCFO(fx.rec.Waveform)
+	res := r.Decode(rx, fx.ppdu, fx.txChips, fx.rec.TrueCIR)
+	if !res.PacketOK {
+		t.Fatalf("true-CIR decode failed: %d/%d chip errors (phase %v)",
+			res.ChipErrors, res.PSDUChips, res.Phase)
+	}
+}
+
+func TestStandardDecodingCleanChannel(t *testing.T) {
+	// Standard decoding (no equalization) should survive a mild channel.
+	fx := makeFixture(t, channel.Impairments{SNRdB: 30}, clearHuman(), 51)
+	r := NewReceiver(DefaultConfig())
+	rx, _ := r.CorrectCFO(fx.rec.Waveform)
+	res := r.Decode(rx, fx.ppdu, fx.txChips, nil)
+	if !res.PacketOK {
+		t.Fatalf("standard decoding failed in clean channel: CER %v", res.CER())
+	}
+}
+
+func TestStandardDecodingWorseThanEqualized(t *testing.T) {
+	// Aggregated over a sweep of mostly-clear positions, standard decoding
+	// (no equalization: timing+phase only) must make more chip errors than
+	// ground-truth ZF equalization, which recombines the fractional-delay
+	// tap cluster and removes inter-sample interference.
+	r := NewReceiver(DefaultConfig())
+	imp := channel.Impairments{SNRdB: 9, PhaseStdDev: 1}
+	var stdErr, eqErr int
+	seed := uint64(100)
+	for _, y := range []float64{4.0, 4.4, 4.8} {
+		for x := 2.2; x <= 5.8; x += 0.6 {
+			seed++
+			fx := makeFixture(t, imp, room.DefaultHuman(room.Vec3{X: x, Y: y}), seed)
+			rx, _ := r.CorrectCFO(fx.rec.Waveform)
+			h, err := r.EstimateGroundTruth(rx, fx.txWave)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stdErr += r.Decode(rx, fx.ppdu, fx.txChips, nil).ChipErrors
+			eqErr += r.Decode(rx, fx.ppdu, fx.txChips, h).ChipErrors
+		}
+	}
+	if stdErr <= eqErr {
+		t.Fatalf("standard decoding (%d chip errors) not worse than equalized (%d)", stdErr, eqErr)
+	}
+}
+
+func TestPreambleDetectionClearVsNoise(t *testing.T) {
+	r := NewReceiver(DefaultConfig())
+	fx := makeFixture(t, channel.Impairments{SNRdB: 25}, clearHuman(), 61)
+	rx, _ := r.CorrectCFO(fx.rec.Waveform)
+	ok, peak, _ := r.DetectPreamble(rx)
+	if !ok {
+		t.Fatalf("clear-channel preamble not detected (peak %v)", peak)
+	}
+	// Pure noise must not detect.
+	rng := rand.New(rand.NewPCG(1, 1))
+	noise := make([]complex128, len(rx))
+	for i := range noise {
+		noise[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	ok, peak, _ = r.DetectPreamble(noise)
+	if ok {
+		t.Fatalf("noise detected as preamble (peak %v)", peak)
+	}
+}
+
+func TestDecodeCountsChipErrors(t *testing.T) {
+	// Corrupt the waveform heavily: chip errors must be counted and the
+	// packet must fail.
+	fx := makeFixture(t, channel.Impairments{SNRdB: -15}, clearHuman(), 71)
+	r := NewReceiver(DefaultConfig())
+	rx, _ := r.CorrectCFO(fx.rec.Waveform)
+	res := r.Decode(rx, fx.ppdu, fx.txChips, fx.rec.TrueCIR)
+	if res.PacketOK {
+		t.Fatal("packet decoded at −15 dB SNR")
+	}
+	if res.ChipErrors == 0 {
+		t.Fatal("no chip errors counted at −15 dB SNR")
+	}
+	if res.PSDUChips != 32*8*phy.ChipsPerSymbol/phy.BitsPerSymbol/8*4 {
+		// 32-byte PSDU = 64 symbols = 2048 chips.
+		if res.PSDUChips != 2048 {
+			t.Fatalf("PSDU chips = %d want 2048", res.PSDUChips)
+		}
+	}
+}
+
+func TestDecodeCFOEstimatePropagated(t *testing.T) {
+	fx := makeFixture(t, channel.Impairments{SNRdB: 30, CFOStdDevHz: 200}, clearHuman(), 81)
+	r := NewReceiver(DefaultConfig())
+	rx, cfo := r.CorrectCFO(fx.rec.Waveform)
+	if fx.rec.CFO != 0 && cfo == 0 {
+		t.Fatal("CFO applied but estimate is zero")
+	}
+	// After correction, decoding with the true CIR must work.
+	res := r.Decode(rx, fx.ppdu, fx.txChips, fx.rec.TrueCIR)
+	if !res.PacketOK {
+		t.Fatalf("decode failed after CFO correction (applied %v, estimated %v)", fx.rec.CFO, cfo)
+	}
+}
+
+func TestDecodeAllZeroEstimateFails(t *testing.T) {
+	fx := makeFixture(t, channel.Impairments{SNRdB: 30}, clearHuman(), 91)
+	r := NewReceiver(DefaultConfig())
+	rx, _ := r.CorrectCFO(fx.rec.Waveform)
+	res := r.Decode(rx, fx.ppdu, fx.txChips, make([]complex128, 11))
+	if res.PacketOK {
+		t.Fatal("all-zero estimate should not decode")
+	}
+}
+
+func TestResultCEREmpty(t *testing.T) {
+	var res Result
+	if res.CER() != 0 {
+		t.Fatal("empty result CER must be 0")
+	}
+}
+
+func TestCorrectCFOCopiesWhenZero(t *testing.T) {
+	r := NewReceiver(DefaultConfig())
+	in := []complex128{1, 2, 3}
+	out, _ := r.CorrectCFO(in)
+	out[0] = 99
+	if in[0] == 99 {
+		t.Fatal("CorrectCFO aliased input")
+	}
+}
+
+func TestDecodeAgedEstimateDegrades(t *testing.T) {
+	// Using the CIR from a very different human position must decode worse
+	// (higher CER) on average than the true CIR — the basis of the paper's
+	// aging experiments.
+	r := NewReceiver(DefaultConfig())
+	g := channel.NewGeometry(room.DefaultLab(), phy.Wavelength)
+	m := channel.NewModel(g, phy.SampleRate)
+	// Stale estimate taken while the LoS was blocked; the packets are sent
+	// with a clear LoS, so the equalizer inverts the wrong channel. Run at
+	// reduced SNR so the mismatch is visible in chip errors.
+	staleCIR := m.CIR(blockedHuman())
+	imp := channel.Impairments{SNRdB: 2, PhaseStdDev: 1}
+	var trueErr, staleErr int
+	for seed := uint64(0); seed < 12; seed++ {
+		fx := makeFixture(t, imp, clearHuman(), 200+seed)
+		rx, _ := r.CorrectCFO(fx.rec.Waveform)
+		trueErr += r.Decode(rx, fx.ppdu, fx.txChips, fx.rec.TrueCIR).ChipErrors
+		staleErr += r.Decode(rx, fx.ppdu, fx.txChips, staleCIR).ChipErrors
+	}
+	if staleErr <= trueErr {
+		t.Fatalf("stale estimate (%d chip errors) outperformed true CIR (%d)", staleErr, trueErr)
+	}
+}
+
+func TestEqualizedCleanWaveformMatchesTx(t *testing.T) {
+	// Full pipeline sanity at very high SNR with no impairments: equalized
+	// waveform ≈ transmitted waveform.
+	fx := makeFixture(t, channel.Impairments{SNRdB: 60}, clearHuman(), 301)
+	r := NewReceiver(DefaultConfig())
+	rx, _ := r.CorrectCFO(fx.rec.Waveform)
+	c, delay, err := ZF(fx.rec.TrueCIR, r.Cfg.EqTaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq := Equalize(rx, c, delay, len(fx.txWave))
+	if snr := dsp.SNRdB(fx.txWave[100:len(fx.txWave)-100], eq[100:len(eq)-100]); snr < 20 {
+		t.Fatalf("equalized SNR %.1f dB", snr)
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationPooling(t *testing.T) {
+	e := sharedEngine(t)
+	res, err := RunAblationPooling(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.MSE <= 0 {
+			t.Fatalf("row %q has no MSE", r.Name)
+		}
+	}
+	if !strings.Contains(res.Render(), "pooling") {
+		t.Fatal("render malformed")
+	}
+}
+
+func TestAblationDense(t *testing.T) {
+	e := sharedEngine(t)
+	res, err := RunAblationDense(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0].Name == res.Rows[1].Name {
+		t.Fatalf("unexpected rows %+v", res.Rows)
+	}
+}
+
+func TestAblationNormalization(t *testing.T) {
+	e := sharedEngine(t)
+	res, err := RunAblationNormalization(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Training on raw targets (magnitudes ~1e-3) must not beat the
+	// normalized configuration: gradients vanish without normalization.
+	if res.Rows[1].MSE < res.Rows[0].MSE/2 {
+		t.Fatalf("raw-target training unexpectedly much better: %+v", res.Rows)
+	}
+}
+
+func TestAblationEqualizerTaps(t *testing.T) {
+	e := sharedEngine(t)
+	res, err := RunAblationEqualizerTaps(e, []int{7, 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if e.Campaign.Receiver.Cfg.EqTaps != 41 {
+		t.Fatal("receiver config not restored")
+	}
+}
+
+func TestAblationPhaseCorrection(t *testing.T) {
+	e := sharedEngine(t)
+	res, err := RunAblationPhaseCorrection(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	with, without := res.Rows[0], res.Rows[1]
+	// Without Eq. 8 the crystal phase goes uncorrected: CER must be
+	// dramatically worse.
+	if without.CER <= with.CER {
+		t.Fatalf("phase correction made no difference: with %v without %v", with.CER, without.CER)
+	}
+	if e.Campaign.Receiver.Cfg.SkipPhaseCorrection {
+		t.Fatal("receiver config not restored")
+	}
+}
+
+func TestAblationCIRTaps(t *testing.T) {
+	e := sharedEngine(t)
+	res, err := RunAblationCIRTaps(e, []int{3, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// A 3-tap estimate cannot capture the 11-tap channel: CER must be at
+	// least as bad as the full-length estimate.
+	if res.Rows[0].CER < res.Rows[1].CER {
+		t.Fatalf("short estimate beat full estimate: %+v", res.Rows)
+	}
+	if e.Campaign.Receiver.Cfg.CIRTaps != 11 {
+		t.Fatal("receiver config not restored")
+	}
+}

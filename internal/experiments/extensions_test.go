@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"vvd/internal/dataset"
+)
+
+func TestAblationDespreading(t *testing.T) {
+	e := sharedEngine(t)
+	res, err := RunAblationDespreading(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	hard, soft := res.Rows[0], res.Rows[1]
+	// Soft despreading can only help (same chips, better combining).
+	if soft.PER > hard.PER+1e-9 {
+		t.Fatalf("soft despreading PER %v worse than hard %v", soft.PER, hard.PER)
+	}
+	if e.Campaign.Receiver.Cfg.SoftDespreading {
+		t.Fatal("receiver config not restored")
+	}
+}
+
+func TestDecimateImage(t *testing.T) {
+	img := make([]float32, dataset.ImagePixels)
+	for i := range img {
+		img[i] = float32(i)
+	}
+	out := DecimateImage(img, 4)
+	if len(out) != len(img) {
+		t.Fatalf("len = %d", len(out))
+	}
+	// Every 4x4 block must be constant and equal to its top-left pixel.
+	cols := 90
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			want := img[(r/4*4)*cols+(c/4*4)]
+			if out[r*cols+c] != want {
+				t.Fatalf("pixel (%d,%d) = %v want %v", r, c, out[r*cols+c], want)
+			}
+		}
+	}
+	// k=1 must copy, not alias.
+	cp := DecimateImage(img, 1)
+	cp[0] = -1
+	if img[0] == -1 {
+		t.Fatal("DecimateImage(k=1) aliased input")
+	}
+}
+
+func TestAblationPrivacy(t *testing.T) {
+	e := sharedEngine(t)
+	res, err := RunAblationPrivacy(e, []int{1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.MSE <= 0 {
+			t.Fatalf("row %q missing MSE", r.Name)
+		}
+	}
+	if !strings.Contains(res.Render(), "privacy") {
+		t.Fatal("render malformed")
+	}
+}
+
+func TestScalability(t *testing.T) {
+	rows := RunScalability(0.05, 64)
+	if len(rows) != 7 { // 1,2,4,...,64
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.VVDPerSecond != 0 {
+			t.Fatal("VVD must need zero pilots")
+		}
+		if i > 0 && r.PilotPerSecond <= rows[i-1].PilotPerSecond {
+			t.Fatal("pilot overhead must grow with transmitters")
+		}
+		if r.CameraInferences != rows[0].CameraInferences {
+			t.Fatal("camera cost must be independent of transmitter count")
+		}
+	}
+	if rows[0].PilotPerSecond != 20 {
+		t.Fatalf("1 TX at 50 ms coherence = 20 pilots/s, got %v", rows[0].PilotPerSecond)
+	}
+	out := RenderScalability(rows)
+	if !strings.Contains(out, "transmitters") {
+		t.Fatal("render malformed")
+	}
+	// Degenerate coherence falls back to the default.
+	if RunScalability(-1, 2)[0].PilotPerSecond != 20 {
+		t.Fatal("coherence fallback broken")
+	}
+}

@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterRates(t *testing.T) {
+	var c Counter
+	c.AddPacket(true, 3, 100)
+	c.AddPacket(false, 10, 100)
+	c.AddPacket(true, 0, 100)
+	if got := c.PER(); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("PER = %v", got)
+	}
+	if got := c.CER(); math.Abs(got-13.0/300) > 1e-12 {
+		t.Fatalf("CER = %v", got)
+	}
+}
+
+func TestCounterEmpty(t *testing.T) {
+	var c Counter
+	if c.PER() != 0 || c.CER() != 0 || c.MSE() != 0 || c.HasMSE() {
+		t.Fatal("empty counter must report zeros")
+	}
+}
+
+func TestCounterMSE(t *testing.T) {
+	var c Counter
+	c.AddMSE(2.0, 4)
+	c.AddMSE(6.0, 4)
+	if got := c.MSE(); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("MSE = %v want 1", got)
+	}
+	if !c.HasMSE() {
+		t.Fatal("HasMSE must be true")
+	}
+}
+
+func TestSqError(t *testing.T) {
+	a := []complex128{1 + 1i, 2}
+	b := []complex128{1, 2}
+	if got := SqError(a, b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("SqError = %v want 1", got)
+	}
+	if SqError(nil, b) != 0 {
+		t.Fatal("empty input must give 0")
+	}
+}
+
+func TestBoxKnownSample(t *testing.T) {
+	s, err := Box([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Q1 != 2 || s.Q3 != 4 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if math.Abs(s.Mean-3) > 1e-12 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if s.N != 5 {
+		t.Fatalf("n = %d", s.N)
+	}
+}
+
+func TestBoxSingleValue(t *testing.T) {
+	s, err := Box([]float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Min != 7 || s.Q1 != 7 || s.Median != 7 || s.Q3 != 7 || s.Max != 7 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestBoxEmpty(t *testing.T) {
+	if _, err := Box(nil); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+}
+
+func TestBoxDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	if _, err := Box(in); err != nil {
+		t.Fatal(err)
+	}
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatal("Box sorted the caller's slice")
+	}
+}
+
+func TestBoxOrderInvariants(t *testing.T) {
+	f := func(values []float64) bool {
+		clean := values[:0]
+		for _, v := range values {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s, err := Box(clean)
+		if err != nil {
+			return false
+		}
+		return s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 && s.Q3 <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	s, err := Box([]float64{0, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Median-5) > 1e-12 {
+		t.Fatalf("median = %v want 5", s.Median)
+	}
+	if math.Abs(s.Q1-2.5) > 1e-12 {
+		t.Fatalf("q1 = %v want 2.5", s.Q1)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	stats := map[string]BoxStats{
+		"VVD-Current":  {N: 3, Min: 0.01, Median: 0.02, Max: 0.03},
+		"Ground Truth": {N: 3, Min: 0.001, Median: 0.002, Max: 0.003},
+	}
+	out := Table("PER", []string{"Ground Truth", "VVD-Current", "missing"}, stats)
+	if !strings.Contains(out, "PER") || !strings.Contains(out, "VVD-Current") {
+		t.Fatalf("table missing entries:\n%s", out)
+	}
+	gt := strings.Index(out, "Ground Truth")
+	vvd := strings.Index(out, "VVD-Current")
+	if gt > vvd {
+		t.Fatal("ordering not respected")
+	}
+	if strings.Contains(out, "missing") {
+		t.Fatal("missing technique rendered")
+	}
+}

@@ -1,0 +1,312 @@
+package nn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand/v2"
+)
+
+// Network is a feed-forward stack of layers.
+type Network struct {
+	In     Shape
+	Out    Shape
+	Layers []Layer
+}
+
+// NewNetwork wires the layers for the given input shape, validates shape
+// compatibility and initializes weights from rng.
+func NewNetwork(in Shape, rng *rand.Rand, layers ...Layer) (*Network, error) {
+	if in.Size() <= 0 {
+		return nil, fmt.Errorf("nn: invalid input shape %s", in)
+	}
+	if len(layers) == 0 {
+		return nil, errors.New("nn: network needs at least one layer")
+	}
+	shape := in
+	for i, l := range layers {
+		var err error
+		shape, err = l.OutShape(shape)
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer %d (%s): %w", i, l.name(), err)
+		}
+	}
+	n := &Network{In: in, Out: shape, Layers: layers}
+	if rng != nil {
+		n.initWeights(rng)
+	}
+	return n, nil
+}
+
+func (n *Network) initWeights(rng *rand.Rand) {
+	for _, l := range n.Layers {
+		switch t := l.(type) {
+		case *Conv2D:
+			t.initWeights(rng)
+		case *Dense:
+			t.initWeights(rng)
+		}
+	}
+}
+
+// Forward runs inference and returns the network output.
+func (n *Network) Forward(in []float64) ([]float64, error) {
+	if len(in) != n.In.Size() {
+		return nil, fmt.Errorf("nn: input size %d, want %d", len(in), n.In.Size())
+	}
+	x := in
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x, nil
+}
+
+// Backward back-propagates ∂L/∂out through the stack (Forward must have
+// been called first on this instance).
+func (n *Network) Backward(gradOut []float64) {
+	g := gradOut
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		g = n.Layers[i].Backward(g)
+	}
+}
+
+// Params returns every learnable parameter.
+func (n *Network) Params() []*Param {
+	var out []*Param
+	for _, l := range n.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// ZeroGrad clears all gradient accumulators.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		for i := range p.G {
+			p.G[i] = 0
+		}
+	}
+}
+
+// Clone returns a network sharing parameter values (for data-parallel
+// training) but with private caches and gradient buffers.
+func (n *Network) Clone() *Network {
+	layers := make([]Layer, len(n.Layers))
+	for i, l := range n.Layers {
+		layers[i] = l.clone()
+	}
+	// Re-walk shapes so cloned layers cache their in/out dimensions.
+	shape := n.In
+	for _, l := range layers {
+		shape, _ = l.OutShape(shape)
+	}
+	return &Network{In: n.In, Out: n.Out, Layers: layers}
+}
+
+// CopyWeightsFrom copies parameter values from src (shapes must match).
+func (n *Network) CopyWeightsFrom(src *Network) error {
+	dst, s := n.Params(), src.Params()
+	if len(dst) != len(s) {
+		return errors.New("nn: parameter count mismatch")
+	}
+	for i := range dst {
+		if len(dst[i].W) != len(s[i].W) {
+			return errors.New("nn: parameter size mismatch")
+		}
+		copy(dst[i].W, s[i].W)
+	}
+	return nil
+}
+
+// MSE returns the mean squared error and fills grad with ∂L/∂pred
+// (grad may be nil to skip).
+func MSE(pred, target, grad []float64) (float64, error) {
+	if len(pred) != len(target) {
+		return 0, fmt.Errorf("nn: MSE length mismatch %d vs %d", len(pred), len(target))
+	}
+	var sum float64
+	inv := 2 / float64(len(pred))
+	for i := range pred {
+		d := pred[i] - target[i]
+		sum += d * d
+		if grad != nil {
+			grad[i] = inv * d
+		}
+	}
+	return sum / float64(len(pred)), nil
+}
+
+// ---------- Serialization ----------
+
+const modelMagic = 0x56564431 // "VVD1"
+
+// Save writes the architecture and weights in a compact binary format.
+func (n *Network) Save(w io.Writer) error {
+	writeU32 := func(v uint32) error { return binary.Write(w, binary.LittleEndian, v) }
+	if err := writeU32(modelMagic); err != nil {
+		return err
+	}
+	for _, v := range []uint32{uint32(n.In.H), uint32(n.In.W), uint32(n.In.C), uint32(len(n.Layers))} {
+		if err := writeU32(v); err != nil {
+			return err
+		}
+	}
+	for _, l := range n.Layers {
+		name := l.name()
+		if err := writeU32(uint32(len(name))); err != nil {
+			return err
+		}
+		if _, err := w.Write([]byte(name)); err != nil {
+			return err
+		}
+		var meta [3]uint32
+		switch t := l.(type) {
+		case *Conv2D:
+			meta = [3]uint32{uint32(t.KH), uint32(t.KW), uint32(t.Filters)}
+		case *Dense:
+			meta = [3]uint32{uint32(t.Units), 0, 0}
+		}
+		for _, v := range meta {
+			if err := writeU32(v); err != nil {
+				return err
+			}
+		}
+		for _, p := range l.Params() {
+			if err := writeU32(uint32(len(p.W))); err != nil {
+				return err
+			}
+			if err := binary.Write(w, binary.LittleEndian, p.W); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Load reconstructs a network saved with Save.
+func Load(r io.Reader) (*Network, error) {
+	readU32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(r, binary.LittleEndian, &v)
+		return v, err
+	}
+	magic, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if magic != modelMagic {
+		return nil, errors.New("nn: bad model magic")
+	}
+	var dims [4]uint32
+	for i := range dims {
+		if dims[i], err = readU32(); err != nil {
+			return nil, err
+		}
+	}
+	in := Shape{H: int(dims[0]), W: int(dims[1]), C: int(dims[2])}
+	nLayers := int(dims[3])
+	if nLayers <= 0 || nLayers > 1024 {
+		return nil, fmt.Errorf("nn: implausible layer count %d", nLayers)
+	}
+	layers := make([]Layer, 0, nLayers)
+	type pending struct {
+		layer  Layer
+		wDatas [][]float64
+	}
+	var pendings []pending
+	for i := 0; i < nLayers; i++ {
+		nameLen, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		if nameLen > 64 {
+			return nil, errors.New("nn: implausible layer name length")
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, nameBuf); err != nil {
+			return nil, err
+		}
+		var meta [3]uint32
+		for j := range meta {
+			if meta[j], err = readU32(); err != nil {
+				return nil, err
+			}
+		}
+		var l Layer
+		nParams := 0
+		switch string(nameBuf) {
+		case "conv2d":
+			l = NewConv2D(int(meta[0]), int(meta[1]), int(meta[2]))
+			nParams = 2
+		case "dense":
+			l = NewDense(int(meta[0]))
+			nParams = 2
+		case "relu":
+			l = NewReLU()
+		case "avgpool":
+			l = NewPool2D(AvgPool)
+		case "maxpool":
+			l = NewPool2D(MaxPool)
+		case "flatten":
+			l = NewFlatten()
+		default:
+			return nil, fmt.Errorf("nn: unknown layer %q", nameBuf)
+		}
+		var wDatas [][]float64
+		for p := 0; p < nParams; p++ {
+			sz, err := readU32()
+			if err != nil {
+				return nil, err
+			}
+			if sz > 100_000_000 {
+				return nil, errors.New("nn: implausible parameter size")
+			}
+			data := make([]float64, sz)
+			if err := binary.Read(r, binary.LittleEndian, data); err != nil {
+				return nil, err
+			}
+			wDatas = append(wDatas, data)
+		}
+		layers = append(layers, l)
+		pendings = append(pendings, pending{layer: l, wDatas: wDatas})
+	}
+	net, err := NewNetwork(in, nil, layers...)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pendings {
+		params := p.layer.Params()
+		if len(params) != len(p.wDatas) {
+			return nil, errors.New("nn: parameter count mismatch on load")
+		}
+		for i, data := range p.wDatas {
+			if len(params[i].W) != len(data) {
+				return nil, errors.New("nn: parameter size mismatch on load")
+			}
+			copy(params[i].W, data)
+		}
+	}
+	return net, nil
+}
+
+// NumParams returns the total learnable parameter count.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += len(p.W)
+	}
+	return total
+}
+
+// L2Norm returns the Euclidean norm over all weights (diagnostics).
+func (n *Network) L2Norm() float64 {
+	var s float64
+	for _, p := range n.Params() {
+		for _, v := range p.W {
+			s += v * v
+		}
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,38 @@
+package phy
+
+// CRC16 computes the IEEE 802.15.4 FCS: CRC-16 with generator polynomial
+// x¹⁶+x¹²+x⁵+1 (0x1021), bit-reflected processing and zero initial value
+// (equivalently CRC-16/KERMIT). The FCS is appended little-endian.
+func CRC16(data []byte) uint16 {
+	var crc uint16
+	for _, b := range data {
+		crc ^= uint16(b)
+		for i := 0; i < 8; i++ {
+			if crc&1 != 0 {
+				crc = crc>>1 ^ 0x8408 // 0x1021 reflected
+			} else {
+				crc >>= 1
+			}
+		}
+	}
+	return crc
+}
+
+// AppendFCS returns data with its 2-byte little-endian FCS appended.
+func AppendFCS(data []byte) []byte {
+	crc := CRC16(data)
+	out := make([]byte, 0, len(data)+2)
+	out = append(out, data...)
+	return append(out, byte(crc), byte(crc>>8))
+}
+
+// CheckFCS reports whether the final two bytes of frame are a valid FCS for
+// the preceding bytes. Frames too short to carry an FCS fail.
+func CheckFCS(frame []byte) bool {
+	if len(frame) < 2 {
+		return false
+	}
+	body, fcs := frame[:len(frame)-2], frame[len(frame)-2:]
+	crc := CRC16(body)
+	return fcs[0] == byte(crc) && fcs[1] == byte(crc>>8)
+}

@@ -1,0 +1,71 @@
+package phy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCRC16KnownVector(t *testing.T) {
+	// CRC-16/KERMIT check value for "123456789".
+	if got := CRC16([]byte("123456789")); got != 0x2189 {
+		t.Fatalf("CRC16 = %#04x want 0x2189", got)
+	}
+}
+
+func TestCRC16Empty(t *testing.T) {
+	if got := CRC16(nil); got != 0 {
+		t.Fatalf("CRC16(nil) = %#04x want 0", got)
+	}
+}
+
+func TestAppendCheckFCSRoundTrip(t *testing.T) {
+	data := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	framed := AppendFCS(data)
+	if len(framed) != len(data)+2 {
+		t.Fatalf("len = %d", len(framed))
+	}
+	if !CheckFCS(framed) {
+		t.Fatal("valid FCS rejected")
+	}
+}
+
+func TestCheckFCSDetectsSingleBitErrors(t *testing.T) {
+	framed := AppendFCS([]byte("hello 802.15.4"))
+	for byteIdx := 0; byteIdx < len(framed); byteIdx++ {
+		for bit := 0; bit < 8; bit++ {
+			corrupt := make([]byte, len(framed))
+			copy(corrupt, framed)
+			corrupt[byteIdx] ^= 1 << bit
+			if CheckFCS(corrupt) {
+				t.Fatalf("single-bit error at byte %d bit %d undetected", byteIdx, bit)
+			}
+		}
+	}
+}
+
+func TestCheckFCSTooShort(t *testing.T) {
+	if CheckFCS([]byte{0x01, 0x02}) {
+		t.Fatal("2-byte frame must fail FCS")
+	}
+	if CheckFCS(nil) {
+		t.Fatal("nil frame must fail FCS")
+	}
+}
+
+func TestAppendFCSDoesNotAliasInput(t *testing.T) {
+	data := make([]byte, 4, 16)
+	framed := AppendFCS(data)
+	framed[0] = 0xFF
+	if data[0] == 0xFF {
+		t.Fatal("AppendFCS aliased caller's buffer")
+	}
+}
+
+func TestFCSRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		return CheckFCS(AppendFCS(data))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

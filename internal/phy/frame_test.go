@@ -1,0 +1,160 @@
+package phy
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestBuildParsePSDURoundTrip(t *testing.T) {
+	f := &Frame{SeqNum: 99, Payload: []byte("industrial sensor reading")}
+	psdu, err := f.BuildPSDU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParsePSDU(psdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SeqNum != 99 || !bytes.Equal(got.Payload, f.Payload) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestBuildPSDUTooLong(t *testing.T) {
+	f := &Frame{Payload: make([]byte, 126)}
+	if _, err := f.BuildPSDU(); !errors.Is(err, ErrFrameTooLong) {
+		t.Fatalf("err = %v want ErrFrameTooLong", err)
+	}
+}
+
+func TestBuildPSDUMaxSize(t *testing.T) {
+	f := &Frame{Payload: make([]byte, MaxPSDU-psduOverhead)}
+	psdu, err := f.BuildPSDU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(psdu) != MaxPSDU {
+		t.Fatalf("len = %d want %d", len(psdu), MaxPSDU)
+	}
+}
+
+func TestParsePSDUCorrupted(t *testing.T) {
+	f := &Frame{SeqNum: 1, Payload: []byte("x")}
+	psdu, _ := f.BuildPSDU()
+	psdu[1] ^= 0xFF
+	if _, err := ParsePSDU(psdu); err == nil {
+		t.Fatal("corrupted PSDU accepted")
+	}
+}
+
+func TestParsePSDUTooShort(t *testing.T) {
+	if _, err := ParsePSDU([]byte{1, 2}); !errors.Is(err, ErrFrameTooShort) {
+		t.Fatalf("err = %v want ErrFrameTooShort", err)
+	}
+}
+
+func TestParsePSDUCopiesPayload(t *testing.T) {
+	f := &Frame{SeqNum: 3, Payload: []byte{9, 9}}
+	psdu, _ := f.BuildPSDU()
+	got, err := ParsePSDU(psdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psdu[1] = 0
+	if got.Payload[0] != 9 {
+		t.Fatal("parsed payload aliases input")
+	}
+}
+
+func TestDefaultPayloadSizing(t *testing.T) {
+	p := DefaultPayload(127)
+	if len(p) != 124 {
+		t.Fatalf("len = %d want 124", len(p))
+	}
+	f := &Frame{SeqNum: 0, Payload: p}
+	psdu, err := f.BuildPSDU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(psdu) != 127 {
+		t.Fatalf("PSDU len = %d want 127 (paper's packet size)", len(psdu))
+	}
+}
+
+func TestDefaultPayloadClamps(t *testing.T) {
+	if len(DefaultPayload(0)) != 0 {
+		t.Fatal("tiny request should clamp to empty payload")
+	}
+	if got := len(DefaultPayload(1000)); got != MaxPSDU-psduOverhead {
+		t.Fatalf("oversize request: len = %d", got)
+	}
+}
+
+func TestBuildPPDUStructure(t *testing.T) {
+	psdu := AppendFCS([]byte{0x05, 0x01})
+	ppdu, err := BuildPPDU(psdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBits := (PreambleBytes + 2 + len(psdu)) * 8
+	if len(ppdu.Bits) != wantBits {
+		t.Fatalf("bits = %d want %d", len(ppdu.Bits), wantBits)
+	}
+	if ppdu.PSDUBits != len(psdu)*8 {
+		t.Fatalf("PSDUBits = %d", ppdu.PSDUBits)
+	}
+	// First 32 bits (preamble) must be zero.
+	for i := 0; i < PreambleBytes*8; i++ {
+		if ppdu.Bits[i] != 0 {
+			t.Fatalf("preamble bit %d non-zero", i)
+		}
+	}
+	// PHR carries the PSDU length.
+	raw := BitsToBytes(ppdu.Bits)
+	if raw[5] != byte(len(psdu)) {
+		t.Fatalf("PHR = %d want %d", raw[5], len(psdu))
+	}
+}
+
+func TestBuildPPDUErrors(t *testing.T) {
+	if _, err := BuildPPDU(make([]byte, 128)); !errors.Is(err, ErrFrameTooLong) {
+		t.Fatal("oversize PSDU accepted")
+	}
+	if _, err := BuildPPDU([]byte{1}); !errors.Is(err, ErrFrameTooShort) {
+		t.Fatal("undersize PSDU accepted")
+	}
+}
+
+func TestSHRChipsLength(t *testing.T) {
+	chips := SHRChips()
+	want := SyncSymbols * ChipsPerSymbol
+	if len(chips) != want {
+		t.Fatalf("SHR chips = %d want %d", len(chips), want)
+	}
+	// Preamble symbols are all symbol 0.
+	sym0 := ChipsForSymbol(0)
+	for s := 0; s < PreambleBytes*2; s++ {
+		for i := 0; i < ChipsPerSymbol; i++ {
+			if chips[s*ChipsPerSymbol+i] != sym0[i] {
+				t.Fatalf("preamble symbol %d not PN(0)", s)
+			}
+		}
+	}
+}
+
+func TestSHRSFDSymbols(t *testing.T) {
+	chips := SHRChips()
+	// SFD = 0xA7 → low nibble 0x7 first, then 0xA.
+	off := PreambleBytes * 2 * ChipsPerSymbol
+	want7 := ChipsForSymbol(0x7)
+	wantA := ChipsForSymbol(0xA)
+	for i := 0; i < ChipsPerSymbol; i++ {
+		if chips[off+i] != want7[i] {
+			t.Fatal("first SFD symbol must be 0x7")
+		}
+		if chips[off+ChipsPerSymbol+i] != wantA[i] {
+			t.Fatal("second SFD symbol must be 0xA")
+		}
+	}
+}

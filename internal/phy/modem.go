@@ -1,0 +1,188 @@
+package phy
+
+import (
+	"math"
+
+	"vvd/internal/dsp"
+)
+
+// Modulator converts bit streams into O-QPSK half-sine-shaped complex
+// baseband waveforms at SamplesPerChip samples per chip. The zero value is
+// not usable; create one with NewModulator.
+type Modulator struct {
+	pulse []float64 // half-sine over one pulse duration (2 chip periods)
+}
+
+// NewModulator returns a modulator for the standard pulse shape.
+func NewModulator() *Modulator {
+	// The O-QPSK pulse spans two chip periods (each rail runs at half the
+	// chip rate); sampled at SamplesPerChip per chip that is 2·SPS samples.
+	n := 2 * SamplesPerChip
+	p := make([]float64, n)
+	for k := range p {
+		p[k] = math.Sin(math.Pi * float64(k) / float64(n))
+	}
+	return &Modulator{pulse: p}
+}
+
+// WaveformLen returns the number of complex samples produced for nchips.
+func WaveformLen(nchips int) int {
+	if nchips <= 0 {
+		return 0
+	}
+	return (nchips + 1) * SamplesPerChip
+}
+
+// ModulateChips maps a chip sequence (values 0/1) onto the O-QPSK waveform:
+// even-indexed chips ride the in-phase rail, odd-indexed chips the
+// quadrature rail delayed by one chip period (the "offset" in O-QPSK), each
+// shaped by a half-sine spanning two chip periods.
+func (m *Modulator) ModulateChips(chips []byte) []complex128 {
+	out := make([]complex128, WaveformLen(len(chips)))
+	for k, c := range chips {
+		amp := -1.0
+		if c != 0 {
+			amp = 1.0
+		}
+		start := k * SamplesPerChip
+		if k%2 == 0 {
+			for i, pv := range m.pulse {
+				out[start+i] += complex(amp*pv, 0)
+			}
+		} else {
+			for i, pv := range m.pulse {
+				out[start+i] += complex(0, amp*pv)
+			}
+		}
+	}
+	return out
+}
+
+// ModulateBits spreads bits to chips and modulates them.
+func (m *Modulator) ModulateBits(bits []byte) []complex128 {
+	return m.ModulateChips(SpreadBits(bits))
+}
+
+// ModulatePPDU returns the waveform for an assembled PPDU.
+func (m *Modulator) ModulatePPDU(p *PPDU) []complex128 {
+	return m.ModulateBits(p.Bits)
+}
+
+// MatchedFilter correlates the waveform with the half-sine chip pulse,
+// normalized so pulse peaks keep unit amplitude. Sampling the output at the
+// pulse peaks realizes the matched-filter receiver: out-of-band noise (and
+// any noise enhanced by zero-forcing equalization outside the signal band)
+// is suppressed ahead of the chip decisions, while same-rail pulses remain
+// orthogonal at the decision instants.
+func MatchedFilter(x []complex128) []complex128 {
+	n := 2 * SamplesPerChip
+	pulse := make([]float64, n)
+	var energy float64
+	for k := range pulse {
+		pulse[k] = math.Sin(math.Pi * float64(k) / float64(n))
+		energy += pulse[k] * pulse[k]
+	}
+	out := make([]complex128, len(x))
+	half := n / 2
+	for i := range x {
+		var acc complex128
+		for m, pv := range pulse {
+			if idx := i + m - half; idx >= 0 && idx < len(x) {
+				acc += x[idx] * complex(pv, 0)
+			}
+		}
+		out[i] = acc / complex(energy, 0)
+	}
+	return out
+}
+
+// ChipDecisions slices hard chip decisions out of a (equalized,
+// phase-corrected) waveform. Chip k has its pulse peak at sample (k+1)·SPS;
+// even chips decide on the real part, odd chips on the imaginary part.
+// Missing samples beyond the waveform end decide as zero (chip 0).
+func ChipDecisions(waveform []complex128, nchips int) []byte {
+	chips := make([]byte, nchips)
+	for k := 0; k < nchips; k++ {
+		idx := (k + 1) * SamplesPerChip
+		if idx >= len(waveform) {
+			break
+		}
+		var v float64
+		if k%2 == 0 {
+			v = real(waveform[idx])
+		} else {
+			v = imag(waveform[idx])
+		}
+		if v > 0 {
+			chips[k] = 1
+		}
+	}
+	return chips
+}
+
+// SoftChips returns the per-chip matched-rail sample values (before the
+// sign decision), useful for diagnostics and soft metrics.
+func SoftChips(waveform []complex128, nchips int) []float64 {
+	soft := make([]float64, nchips)
+	for k := 0; k < nchips; k++ {
+		idx := (k + 1) * SamplesPerChip
+		if idx >= len(waveform) {
+			break
+		}
+		if k%2 == 0 {
+			soft[k] = real(waveform[idx])
+		} else {
+			soft[k] = imag(waveform[idx])
+		}
+	}
+	return soft
+}
+
+// ReferenceWaveforms caches commonly reused transmit-side waveform segments.
+type ReferenceWaveforms struct {
+	mod *Modulator
+	// SHR is the modulated synchronization header (preamble + SFD).
+	SHR []complex128
+}
+
+// NewReferenceWaveforms builds the cached references.
+func NewReferenceWaveforms() *ReferenceWaveforms {
+	m := NewModulator()
+	return &ReferenceWaveforms{mod: m, SHR: m.ModulateChips(SHRChips())}
+}
+
+// Modulator exposes the underlying modulator.
+func (r *ReferenceWaveforms) Modulator() *Modulator { return r.mod }
+
+// NormalizedSyncPeak correlates rx against the SHR reference at lag 0..max
+// and returns the peak magnitude normalized by the local signal energy, plus
+// its lag. This is the receiver's preamble detection statistic: deep fades
+// push it below threshold, modelling the paper's preamble detection
+// failures.
+func (r *ReferenceWaveforms) NormalizedSyncPeak(rx []complex128, maxLag int) (peak float64, lag int) {
+	refLen := len(r.SHR)
+	if refLen == 0 || refLen > len(rx) {
+		return 0, 0
+	}
+	if maxLag > len(rx)-refLen {
+		maxLag = len(rx) - refLen
+	}
+	refE := math.Sqrt(dsp.Power(r.SHR) * float64(refLen))
+	best, bestLag := 0.0, 0
+	for l := 0; l <= maxLag; l++ {
+		seg := rx[l : l+refLen]
+		c := dsp.CrossCorrelate(seg, r.SHR)
+		segE := math.Sqrt(dsp.Power(seg) * float64(refLen))
+		if segE == 0 {
+			continue
+		}
+		if v := cAbs(c[0]) / (refE * segE); v > best {
+			best, bestLag = v, l
+		}
+	}
+	return best, bestLag
+}
+
+func cAbs(c complex128) float64 {
+	return math.Hypot(real(c), imag(c))
+}

@@ -1,0 +1,196 @@
+package phy
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"vvd/internal/dsp"
+)
+
+func TestWaveformLen(t *testing.T) {
+	if got := WaveformLen(32); got != 33*SamplesPerChip {
+		t.Fatalf("WaveformLen(32) = %d", got)
+	}
+	if WaveformLen(0) != 0 {
+		t.Fatal("WaveformLen(0) must be 0")
+	}
+}
+
+func TestModulateChipsRails(t *testing.T) {
+	m := NewModulator()
+	// Single even chip = in-phase rail only.
+	w := m.ModulateChips([]byte{1})
+	for i, c := range w {
+		if imag(c) != 0 {
+			t.Fatalf("sample %d has quadrature energy for even chip", i)
+		}
+	}
+	if real(w[SamplesPerChip]) < 0.99 {
+		t.Fatalf("even-chip peak %v, want ≈ 1 at (k+1)·SPS", w[SamplesPerChip])
+	}
+	// Two chips: the odd chip rides Q.
+	w2 := m.ModulateChips([]byte{0, 1})
+	if imag(w2[2*SamplesPerChip]) < 0.99 {
+		t.Fatalf("odd-chip peak %v, want ≈ 1", w2[2*SamplesPerChip])
+	}
+	if real(w2[SamplesPerChip]) > -0.99 {
+		t.Fatalf("chip value 0 must map to −1, got %v", real(w2[SamplesPerChip]))
+	}
+}
+
+func TestModulateHalfSineContinuity(t *testing.T) {
+	// Adjacent same-rail pulses join at zero crossings: the I rail envelope
+	// |real| must dip to ~0 every 2 chips.
+	m := NewModulator()
+	w := m.ModulateChips([]byte{1, 1, 0, 0, 1, 1})
+	for k := 0; k <= 6; k += 2 {
+		idx := k * SamplesPerChip
+		if idx < len(w) && math.Abs(real(w[idx])) > 1e-9 {
+			t.Fatalf("I rail not zero at pulse boundary sample %d: %v", idx, w[idx])
+		}
+	}
+}
+
+func TestChipDecisionsCleanRoundTrip(t *testing.T) {
+	m := NewModulator()
+	rng := rand.New(rand.NewPCG(3, 4))
+	chips := make([]byte, 256)
+	for i := range chips {
+		chips[i] = byte(rng.IntN(2))
+	}
+	w := m.ModulateChips(chips)
+	got := ChipDecisions(w, len(chips))
+	for i := range chips {
+		if got[i] != chips[i] {
+			t.Fatalf("chip %d = %d want %d", i, got[i], chips[i])
+		}
+	}
+}
+
+func TestChipDecisionsTruncatedWaveform(t *testing.T) {
+	m := NewModulator()
+	chips := []byte{1, 1, 1, 1}
+	w := m.ModulateChips(chips)
+	got := ChipDecisions(w[:SamplesPerChip+1], len(chips))
+	if got[0] != 1 {
+		t.Fatal("first chip should still decode")
+	}
+	for _, c := range got[1:] {
+		if c != 0 {
+			t.Fatal("missing samples must decide as zero")
+		}
+	}
+}
+
+func TestSoftChipsSignsMatchDecisions(t *testing.T) {
+	m := NewModulator()
+	chips := []byte{1, 0, 1, 1, 0, 0}
+	w := m.ModulateChips(chips)
+	soft := SoftChips(w, len(chips))
+	hard := ChipDecisions(w, len(chips))
+	for i := range chips {
+		wantPos := hard[i] == 1
+		if (soft[i] > 0) != wantPos {
+			t.Fatalf("soft/hard mismatch at chip %d", i)
+		}
+	}
+}
+
+func TestEndToEndCleanLoopback(t *testing.T) {
+	frame := &Frame{SeqNum: 42, Payload: DefaultPayload(32)}
+	psdu, err := frame.BuildPSDU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppdu, err := BuildPPDU(psdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModulator()
+	w := m.ModulatePPDU(ppdu)
+	nchips := len(ppdu.Bits) / BitsPerSymbol * ChipsPerSymbol
+	bits := DespreadChips(ChipDecisions(w, nchips))
+	raw := BitsToBytes(bits)
+	// SHR(5) + PHR(1) then PSDU.
+	gotPSDU := raw[6 : 6+ppdu.PSDULen]
+	parsed, err := ParsePSDU(gotPSDU)
+	if err != nil {
+		t.Fatalf("clean loopback failed FCS: %v", err)
+	}
+	if parsed.SeqNum != 42 {
+		t.Fatalf("seq = %d want 42", parsed.SeqNum)
+	}
+}
+
+func TestEndToEndLoopbackWithNoise(t *testing.T) {
+	// At 12 dB SNR the DSSS processing gain must still deliver the packet.
+	frame := &Frame{SeqNum: 7, Payload: DefaultPayload(16)}
+	psdu, _ := frame.BuildPSDU()
+	ppdu, _ := BuildPPDU(psdu)
+	m := NewModulator()
+	w := m.ModulatePPDU(ppdu)
+	rng := rand.New(rand.NewPCG(10, 20))
+	noisy := dsp.AddAWGN(w, 12, rng)
+	nchips := len(ppdu.Bits) / BitsPerSymbol * ChipsPerSymbol
+	bits := DespreadChips(ChipDecisions(noisy, nchips))
+	raw := BitsToBytes(bits)
+	parsed, err := ParsePSDU(raw[6 : 6+ppdu.PSDULen])
+	if err != nil {
+		t.Fatalf("12 dB loopback failed: %v", err)
+	}
+	if parsed.SeqNum != 7 {
+		t.Fatalf("seq = %d want 7", parsed.SeqNum)
+	}
+}
+
+func TestNormalizedSyncPeakCleanSignal(t *testing.T) {
+	refs := NewReferenceWaveforms()
+	frame := &Frame{SeqNum: 1, Payload: DefaultPayload(8)}
+	psdu, _ := frame.BuildPSDU()
+	ppdu, _ := BuildPPDU(psdu)
+	w := refs.Modulator().ModulatePPDU(ppdu)
+	peak, lag := refs.NormalizedSyncPeak(w, 8)
+	if lag != 0 {
+		t.Fatalf("lag = %d want 0", lag)
+	}
+	if peak < 0.95 {
+		t.Fatalf("clean sync peak %v, want ≥ 0.95", peak)
+	}
+}
+
+func TestNormalizedSyncPeakFindsDelay(t *testing.T) {
+	refs := NewReferenceWaveforms()
+	frame := &Frame{SeqNum: 1, Payload: DefaultPayload(8)}
+	psdu, _ := frame.BuildPSDU()
+	ppdu, _ := BuildPPDU(psdu)
+	w := refs.Modulator().ModulatePPDU(ppdu)
+	delayed := append(make([]complex128, 5), w...)
+	_, lag := refs.NormalizedSyncPeak(delayed, 16)
+	if lag != 5 {
+		t.Fatalf("lag = %d want 5", lag)
+	}
+}
+
+func TestNormalizedSyncPeakDropsWithNoise(t *testing.T) {
+	refs := NewReferenceWaveforms()
+	frame := &Frame{SeqNum: 1, Payload: DefaultPayload(8)}
+	psdu, _ := frame.BuildPSDU()
+	ppdu, _ := BuildPPDU(psdu)
+	w := refs.Modulator().ModulatePPDU(ppdu)
+	rng := rand.New(rand.NewPCG(5, 6))
+	noisy := dsp.AddAWGN(w, -10, rng)
+	cleanPeak, _ := refs.NormalizedSyncPeak(w, 0)
+	noisyPeak, _ := refs.NormalizedSyncPeak(noisy, 0)
+	if noisyPeak >= cleanPeak {
+		t.Fatalf("noisy peak %v should be below clean peak %v", noisyPeak, cleanPeak)
+	}
+}
+
+func TestNormalizedSyncPeakShortInput(t *testing.T) {
+	refs := NewReferenceWaveforms()
+	peak, lag := refs.NormalizedSyncPeak([]complex128{1, 2}, 4)
+	if peak != 0 || lag != 0 {
+		t.Fatal("short input must return zero peak")
+	}
+}

@@ -1,0 +1,193 @@
+package phy
+
+import (
+	"math/bits"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestPNTableDistinct(t *testing.T) {
+	seen := map[uint32]int{}
+	for sym := 0; sym < 16; sym++ {
+		w := pnPacked[sym]
+		if prev, ok := seen[w]; ok {
+			t.Fatalf("symbols %d and %d share a PN sequence", prev, sym)
+		}
+		seen[w] = sym
+	}
+}
+
+func TestPNTableCyclicShiftProperty(t *testing.T) {
+	// Symbols 1..7 are right-cyclic shifts of symbol 0 by 4·k chips.
+	for sym := 1; sym < 8; sym++ {
+		shift := 4 * sym
+		for i := 0; i < ChipsPerSymbol; i++ {
+			if pnTable[sym][(i+shift)%ChipsPerSymbol] != pnTable[0][i] {
+				t.Fatalf("symbol %d is not a %d-chip shift of symbol 0", sym, shift)
+			}
+		}
+	}
+}
+
+func TestPNTableConjugationProperty(t *testing.T) {
+	// Symbols 8..15 equal 0..7 with odd-indexed chips inverted.
+	for sym := 8; sym < 16; sym++ {
+		for i := 0; i < ChipsPerSymbol; i++ {
+			want := pnTable[sym-8][i]
+			if i%2 == 1 {
+				want ^= 1
+			}
+			if pnTable[sym][i] != want {
+				t.Fatalf("symbol %d chip %d: conjugation broken", sym, i)
+			}
+		}
+	}
+}
+
+func TestPNTableBalanced(t *testing.T) {
+	// Each sequence should be roughly half ones (DSSS balance).
+	for sym := 0; sym < 16; sym++ {
+		ones := bits.OnesCount32(pnPacked[sym])
+		if ones < 12 || ones > 20 {
+			t.Fatalf("symbol %d has %d ones, badly unbalanced", sym, ones)
+		}
+	}
+}
+
+func TestPNTableMinimumDistance(t *testing.T) {
+	// The near-orthogonal set must keep a healthy Hamming distance between
+	// any two sequences — this is what makes chip-error correction work.
+	min := ChipsPerSymbol
+	for a := 0; a < 16; a++ {
+		for b := a + 1; b < 16; b++ {
+			if d := bits.OnesCount32(pnPacked[a] ^ pnPacked[b]); d < min {
+				min = d
+			}
+		}
+	}
+	if min < 10 {
+		t.Fatalf("minimum inter-sequence Hamming distance %d < 10", min)
+	}
+}
+
+func TestChipsForSymbolPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range symbol")
+		}
+	}()
+	ChipsForSymbol(16)
+}
+
+func TestSpreadDespreadRoundTrip(t *testing.T) {
+	bits := []byte{1, 0, 1, 1, 0, 0, 0, 0, 1, 1, 1, 1}
+	got := DespreadChips(SpreadBits(bits))
+	if len(got) != len(bits) {
+		t.Fatalf("len = %d want %d", len(got), len(bits))
+	}
+	for i := range bits {
+		if got[i] != bits[i] {
+			t.Fatalf("bit %d = %d want %d", i, got[i], bits[i])
+		}
+	}
+}
+
+func TestSpreadBitsPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-multiple-of-4 bits")
+		}
+	}()
+	SpreadBits([]byte{1, 0, 1})
+}
+
+func TestDespreadCorrectsChipErrors(t *testing.T) {
+	// With minimum distance ≥ 10, any 4 chip errors per symbol must still
+	// decode correctly.
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 100; trial++ {
+		sym := rng.IntN(16)
+		bitsIn := []byte{byte(sym & 1), byte(sym >> 1 & 1), byte(sym >> 2 & 1), byte(sym >> 3 & 1)}
+		chips := SpreadBits(bitsIn)
+		for _, i := range rng.Perm(ChipsPerSymbol)[:4] {
+			chips[i] ^= 1
+		}
+		got := DespreadChips(chips)
+		for i := range bitsIn {
+			if got[i] != bitsIn[i] {
+				t.Fatalf("trial %d: symbol %d misdecoded with 4 chip errors", trial, sym)
+			}
+		}
+	}
+}
+
+func TestDespreadIgnoresPartialBlock(t *testing.T) {
+	chips := SpreadBits([]byte{1, 0, 0, 0})
+	chips = append(chips, 1, 0, 1) // partial trailing block
+	if got := DespreadChips(chips); len(got) != 4 {
+		t.Fatalf("len = %d want 4", len(got))
+	}
+}
+
+func TestBytesToBitsLSBFirst(t *testing.T) {
+	bits := BytesToBits([]byte{0x01, 0x80})
+	if bits[0] != 1 || bits[7] != 0 {
+		t.Fatal("0x01 must emit its LSB first")
+	}
+	if bits[8] != 0 || bits[15] != 1 {
+		t.Fatal("0x80 must emit its MSB last")
+	}
+}
+
+func TestBitsBytesRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		got := BitsToBytes(BytesToBits(data))
+		if len(got) != len(data) {
+			return false
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitsToBytesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BitsToBytes([]byte{1, 0, 1})
+}
+
+func TestSpreadDespreadRandomProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		if len(data) > 16 {
+			data = data[:16]
+		}
+		in := BytesToBits(data)
+		out := DespreadChips(SpreadBits(in))
+		for i := range in {
+			if in[i] != out[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+package phy
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestDespreadSoftCleanRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	data := make([]byte, 8)
+	for i := range data {
+		data[i] = byte(rng.IntN(256))
+	}
+	in := BytesToBits(data)
+	chips := SpreadBits(in)
+	soft := make([]float64, len(chips))
+	for i, c := range chips {
+		if c != 0 {
+			soft[i] = 1
+		} else {
+			soft[i] = -1
+		}
+	}
+	out := DespreadSoft(soft)
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("bit %d mismatch", i)
+		}
+	}
+}
+
+func TestDespreadSoftBeatsHardAtLowSNR(t *testing.T) {
+	// Add Gaussian noise to soft chips; soft despreading must produce at
+	// least as many correct symbols as hard despreading, and strictly more
+	// in aggregate near threshold.
+	rng := rand.New(rand.NewPCG(3, 4))
+	var softWrong, hardWrong int
+	for trial := 0; trial < 120; trial++ {
+		sym := rng.IntN(16)
+		in := []byte{byte(sym & 1), byte(sym >> 1 & 1), byte(sym >> 2 & 1), byte(sym >> 3 & 1)}
+		chips := SpreadBits(in)
+		soft := make([]float64, len(chips))
+		hard := make([]byte, len(chips))
+		for i, c := range chips {
+			v := -1.0
+			if c != 0 {
+				v = 1.0
+			}
+			v += rng.NormFloat64() * 1.15 // ≈ −1.2 dB chip SNR
+			soft[i] = v
+			if v > 0 {
+				hard[i] = 1
+			}
+		}
+		sOut := DespreadSoft(soft)
+		hOut := DespreadChips(hard)
+		for i := range in {
+			if sOut[i] != in[i] {
+				softWrong++
+				break
+			}
+		}
+		for i := range in {
+			if hOut[i] != in[i] {
+				hardWrong++
+				break
+			}
+		}
+	}
+	if softWrong > hardWrong {
+		t.Fatalf("soft despreading (%d wrong) worse than hard (%d wrong)", softWrong, hardWrong)
+	}
+	if hardWrong == 0 {
+		t.Fatal("noise level too benign to exercise the comparison")
+	}
+}
+
+func TestDespreadSoftIgnoresPartialBlock(t *testing.T) {
+	soft := make([]float64, ChipsPerSymbol+5)
+	if got := DespreadSoft(soft); len(got) != BitsPerSymbol {
+		t.Fatalf("bits = %d want %d", len(got), BitsPerSymbol)
+	}
+}
+
+func TestDespreadSoftConsistentWithHardOnStrongChips(t *testing.T) {
+	// When all soft values are saturated ±1, soft and hard must agree.
+	rng := rand.New(rand.NewPCG(5, 6))
+	chips := make([]byte, 4*ChipsPerSymbol)
+	soft := make([]float64, len(chips))
+	for i := range chips {
+		chips[i] = byte(rng.IntN(2))
+		if chips[i] != 0 {
+			soft[i] = 1
+		} else {
+			soft[i] = -1
+		}
+	}
+	a := DespreadChips(chips)
+	b := DespreadSoft(soft)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("soft and hard despreading disagree on saturated chips")
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package report renders the evaluation results as ASCII charts: the box
+// plots of Figs. 11–14 and the log-scale aging curves of Figs. 16–17, so
+// the harness output carries the same visual shape as the paper's figures
+// without any plotting dependency.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"vvd/internal/metrics"
+)
+
+// BoxPlot renders per-technique box statistics on a shared horizontal
+// log-scale axis: `|----[  med  ]----|` spans min..q1..median..q3..max.
+func BoxPlot(title string, order []string, stats map[string]metrics.BoxStats, width int) string {
+	if width < 40 {
+		width = 72
+	}
+	var present []string
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, name := range order {
+		s, ok := stats[name]
+		if !ok {
+			continue
+		}
+		present = append(present, name)
+		if s.Min > 0 && s.Min < lo {
+			lo = s.Min
+		}
+		if s.Max > hi {
+			hi = s.Max
+		}
+	}
+	if len(present) == 0 {
+		return title + "\n(no data)\n"
+	}
+	if !(lo > 0) || !(hi > 0) || hi <= lo {
+		// Degenerate axis (all zeros or a single point): pad around hi.
+		if hi <= 0 {
+			hi = 1
+		}
+		lo = hi / 10
+	}
+	logLo, logHi := math.Log10(lo), math.Log10(hi)
+	if logHi-logLo < 0.5 {
+		mid := (logHi + logLo) / 2
+		logLo, logHi = mid-0.25, mid+0.25
+	}
+	span := logHi - logLo
+	pos := func(v float64) int {
+		if v <= 0 {
+			return 0
+		}
+		p := (math.Log10(v) - logLo) / span
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		return int(p * float64(width-1))
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (log scale %.2e … %.2e)\n", title, math.Pow(10, logLo), math.Pow(10, logHi))
+	for _, name := range present {
+		s := stats[name]
+		line := make([]byte, width)
+		for i := range line {
+			line[i] = ' '
+		}
+		mn, q1, med, q3, mx := pos(s.Min), pos(s.Q1), pos(s.Median), pos(s.Q3), pos(s.Max)
+		for i := mn; i <= mx && i < width; i++ {
+			line[i] = '-'
+		}
+		for i := q1; i <= q3 && i < width; i++ {
+			line[i] = '='
+		}
+		line[mn] = '|'
+		line[mx] = '|'
+		line[med] = '#'
+		fmt.Fprintf(&b, "%-26s %s %.3e\n", truncate(name, 26), string(line), s.Median)
+	}
+	return b.String()
+}
+
+// Series is one named curve for LinePlot.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// LinePlot renders curves over a shared x-axis on a log-scale y grid:
+// each series gets a marker; rows run from the highest decade down.
+func LinePlot(title string, xLabels []string, series []Series, height int) string {
+	if height < 4 {
+		height = 10
+	}
+	markers := []byte{'*', 'o', '+', 'x', '@', '%'}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	n := 0
+	for _, s := range series {
+		for _, v := range s.Values {
+			if v > 0 {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+		}
+		if len(s.Values) > n {
+			n = len(s.Values)
+		}
+	}
+	if n == 0 || !(lo > 0) {
+		return title + "\n(no data)\n"
+	}
+	logLo, logHi := math.Log10(lo), math.Log10(hi)
+	if logHi-logLo < 0.2 {
+		mid := (logHi + logLo) / 2
+		logLo, logHi = mid-0.1, mid+0.1
+	}
+	colWidth := 6
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = make([]byte, n*colWidth)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	row := func(v float64) int {
+		p := (math.Log10(v) - logLo) / (logHi - logLo)
+		r := int(math.Round((1 - p) * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i, v := range s.Values {
+			if v <= 0 {
+				continue
+			}
+			grid[row(v)][i*colWidth+colWidth/2] = m
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (log scale %.1e … %.1e)\n", title, lo, hi)
+	for r := 0; r < height; r++ {
+		frac := 1 - float64(r)/float64(height-1)
+		val := math.Pow(10, logLo+frac*(logHi-logLo))
+		fmt.Fprintf(&b, "%9.1e |%s\n", val, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%9s +%s\n", "", strings.Repeat("-", n*colWidth))
+	fmt.Fprintf(&b, "%9s  ", "")
+	for i := 0; i < n; i++ {
+		label := ""
+		if i < len(xLabels) {
+			label = xLabels[i]
+		}
+		fmt.Fprintf(&b, "%-*s", colWidth, truncate(label, colWidth-1))
+	}
+	b.WriteByte('\n')
+	for si, s := range series {
+		fmt.Fprintf(&b, "%9s  %c = %s\n", "", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	if n <= 1 {
+		return s[:n]
+	}
+	return s[:n-1] + "…"
+}

@@ -1,0 +1,120 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"vvd/internal/metrics"
+)
+
+func sampleStats() map[string]metrics.BoxStats {
+	return map[string]metrics.BoxStats{
+		"Standard Decoding": {N: 5, Min: 0.05, Q1: 0.07, Median: 0.09, Q3: 0.11, Max: 0.15},
+		"Ground Truth":      {N: 5, Min: 0.005, Q1: 0.007, Median: 0.009, Q3: 0.012, Max: 0.02},
+	}
+}
+
+func TestBoxPlotRendersAllTechniques(t *testing.T) {
+	out := BoxPlot("Fig. 12", []string{"Ground Truth", "Standard Decoding"}, sampleStats(), 60)
+	if !strings.Contains(out, "Ground Truth") || !strings.Contains(out, "Standard Decoding") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, "=") {
+		t.Fatalf("missing box glyphs:\n%s", out)
+	}
+}
+
+func TestBoxPlotOrderReflectsMagnitude(t *testing.T) {
+	out := BoxPlot("per", []string{"Ground Truth", "Standard Decoding"}, sampleStats(), 60)
+	lines := strings.Split(out, "\n")
+	var gtLine, stdLine string
+	for _, l := range lines {
+		if strings.Contains(l, "Ground Truth") {
+			gtLine = l
+		}
+		if strings.Contains(l, "Standard Decoding") {
+			stdLine = l
+		}
+	}
+	// The median marker of the (smaller) ground-truth row must sit left of
+	// the standard-decoding marker on the shared log axis.
+	if strings.IndexByte(gtLine, '#') >= strings.IndexByte(stdLine, '#') {
+		t.Fatalf("log axis ordering broken:\n%s", out)
+	}
+}
+
+func TestBoxPlotSkipsMissing(t *testing.T) {
+	out := BoxPlot("per", []string{"Nope", "Ground Truth"}, sampleStats(), 60)
+	if strings.Contains(out, "Nope") {
+		t.Fatal("missing technique rendered")
+	}
+}
+
+func TestBoxPlotEmpty(t *testing.T) {
+	out := BoxPlot("per", []string{"Nope"}, sampleStats(), 60)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("expected no-data placeholder:\n%s", out)
+	}
+}
+
+func TestBoxPlotDegenerateStats(t *testing.T) {
+	stats := map[string]metrics.BoxStats{"A": {N: 1}}
+	out := BoxPlot("per", []string{"A"}, stats, 60)
+	if !strings.Contains(out, "A") {
+		t.Fatalf("degenerate stats not rendered:\n%s", out)
+	}
+}
+
+func TestLinePlotRendersMarkersAndLegend(t *testing.T) {
+	out := LinePlot("Fig. 16", []string{"0", "0.1", "0.5", "1", "2"},
+		[]Series{
+			{Name: "genie", Values: []float64{1e-8, 3e-8, 6e-8, 6e-8, 6.4e-8}},
+			{Name: "VVD", Values: []float64{2e-8, 2.1e-8, 2.3e-8, 2.6e-8, 3e-8}},
+		}, 8)
+	if !strings.Contains(out, "genie") || !strings.Contains(out, "VVD") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "0.5") {
+		t.Fatalf("x labels missing:\n%s", out)
+	}
+}
+
+func TestLinePlotMonotoneSeriesRowOrder(t *testing.T) {
+	// A strictly increasing series must place later markers on higher rows
+	// (smaller row index = larger value).
+	out := LinePlot("t", []string{"a", "b", "c"},
+		[]Series{{Name: "up", Values: []float64{1e-8, 1e-7, 1e-6}}}, 9)
+	lines := strings.Split(out, "\n")
+	rowOf := func(col int) int {
+		for r, l := range lines {
+			idx := strings.IndexByte(l, '*')
+			if idx >= 0 && (idx-10)/6 == col {
+				return r
+			}
+		}
+		return -1
+	}
+	r0, r2 := rowOf(0), rowOf(2)
+	if r0 < 0 || r2 < 0 || r2 >= r0 {
+		t.Fatalf("marker rows not ordered (r0=%d r2=%d):\n%s", r0, r2, out)
+	}
+}
+
+func TestLinePlotEmpty(t *testing.T) {
+	out := LinePlot("t", nil, nil, 5)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("expected no-data placeholder:\n%s", out)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	if truncate("abcdef", 4) != "abc…" {
+		t.Fatalf("truncate = %q", truncate("abcdef", 4))
+	}
+	if truncate("ab", 4) != "ab" {
+		t.Fatal("short strings must pass through")
+	}
+}

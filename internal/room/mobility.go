@@ -1,0 +1,154 @@
+package room
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// MobilityConfig parameterizes the random-waypoint walk of the human inside
+// the movement area. The paper's human is "always mobile during the
+// measurements", so the model has no pause time by default.
+type MobilityConfig struct {
+	SpeedMin  float64 // m/s
+	SpeedMax  float64 // m/s
+	PauseTime float64 // seconds spent at each waypoint (0 = always mobile)
+}
+
+// DefaultMobility returns typical indoor walking dynamics.
+func DefaultMobility() MobilityConfig {
+	return MobilityConfig{SpeedMin: 0.3, SpeedMax: 0.9, PauseTime: 0}
+}
+
+// TrajectoryPoint is a sampled human position at a point in time.
+type TrajectoryPoint struct {
+	T   float64 // seconds since trajectory start
+	Pos Vec3
+}
+
+// Walker generates a continuous random-waypoint trajectory. It is stateful:
+// repeated Step calls advance the walk.
+type Walker struct {
+	area    Rect
+	cfg     MobilityConfig
+	rng     *rand.Rand
+	pos     Vec3
+	target  Vec3
+	speed   float64
+	pausing float64
+	started bool
+}
+
+// NewWalker creates a walker confined to area. A nil rng panics.
+func NewWalker(area Rect, cfg MobilityConfig, rng *rand.Rand) *Walker {
+	if rng == nil {
+		panic("room: NewWalker needs a rand source")
+	}
+	w := &Walker{area: area, cfg: cfg, rng: rng}
+	w.pos = w.randomPoint()
+	w.pickTarget()
+	return w
+}
+
+func (w *Walker) randomPoint() Vec3 {
+	return Vec3{
+		X: w.area.MinX + w.rng.Float64()*w.area.Width(),
+		Y: w.area.MinY + w.rng.Float64()*w.area.Height(),
+	}
+}
+
+func (w *Walker) pickTarget() {
+	w.target = w.randomPoint()
+	span := w.cfg.SpeedMax - w.cfg.SpeedMin
+	if span < 0 {
+		span = 0
+	}
+	w.speed = w.cfg.SpeedMin + w.rng.Float64()*span
+	if w.speed <= 0 {
+		w.speed = 0.5
+	}
+}
+
+// Pos returns the current position.
+func (w *Walker) Pos() Vec3 { return w.pos }
+
+// Step advances the walk by dt seconds and returns the new position.
+func (w *Walker) Step(dt float64) Vec3 {
+	if dt < 0 {
+		dt = 0
+	}
+	remaining := dt
+	for remaining > 0 {
+		if w.pausing > 0 {
+			hold := math.Min(w.pausing, remaining)
+			w.pausing -= hold
+			remaining -= hold
+			continue
+		}
+		to := w.target.Sub(w.pos)
+		dist := to.Norm()
+		if dist < 1e-9 {
+			w.pausing = w.cfg.PauseTime
+			w.pickTarget()
+			if w.cfg.PauseTime == 0 && remaining < 1e-12 {
+				break
+			}
+			continue
+		}
+		travel := w.speed * remaining
+		if travel >= dist {
+			w.pos = w.target
+			remaining -= dist / w.speed
+			w.pausing = w.cfg.PauseTime
+			w.pickTarget()
+			continue
+		}
+		w.pos = w.pos.Add(to.Scale(travel / dist))
+		remaining = 0
+	}
+	return w.pos
+}
+
+// Sample produces n positions separated by dt seconds (the first sample is
+// the position after one step, mirroring a camera that starts rolling as
+// the human is already moving).
+func (w *Walker) Sample(n int, dt float64) []TrajectoryPoint {
+	pts := make([]TrajectoryPoint, n)
+	for i := range pts {
+		pos := w.Step(dt)
+		pts[i] = TrajectoryPoint{T: float64(i+1) * dt, Pos: pos}
+	}
+	return pts
+}
+
+// ScriptedPath returns a deterministic trajectory that crosses the direct
+// TX–RX line, useful for reproducible tests and the burst-error experiment
+// (paper Fig. 15): the human walks from one corner of the movement area
+// through its centre to the opposite corner and back, cyclically.
+func ScriptedPath(area Rect, n int, dt float64, speed float64) []TrajectoryPoint {
+	if speed <= 0 {
+		speed = 1
+	}
+	a := Vec3{area.MinX, area.MinY, 0}
+	b := Vec3{area.MaxX, area.MaxY, 0}
+	leg := b.Sub(a)
+	legLen := leg.Norm()
+	pts := make([]TrajectoryPoint, n)
+	pos := 0.0
+	dir := 1.0
+	for i := range pts {
+		pos += speed * dt * dir
+		for pos > legLen || pos < 0 {
+			if pos > legLen {
+				pos = 2*legLen - pos
+				dir = -dir
+			}
+			if pos < 0 {
+				pos = -pos
+				dir = -dir
+			}
+		}
+		p := a.Add(leg.Scale(pos / legLen))
+		pts[i] = TrajectoryPoint{T: float64(i+1) * dt, Pos: p}
+	}
+	return pts
+}

@@ -1,0 +1,192 @@
+// Package room models the measurement environment of the paper: a
+// laboratory room with a fixed transmitter, receiver and surveillance
+// camera, and a single mobile human whose movement area is constrained so
+// the camera observes all mobility (paper Fig. 2).
+package room
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec3 is a point or direction in room coordinates (metres). X spans the
+// room width, Y the depth, Z the height.
+type Vec3 struct{ X, Y, Z float64 }
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v − w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns s·v.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{s * v.X, s * v.Y, s * v.Z} }
+
+// Dot returns the inner product.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Norm returns the Euclidean length.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Dist returns the distance between two points.
+func (v Vec3) Dist(w Vec3) float64 { return v.Sub(w).Norm() }
+
+// Normalize returns v/‖v‖ (zero vector unchanged).
+func (v Vec3) Normalize() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Cross returns the cross product v × w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Rect is an axis-aligned rectangle on the floor plane.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Contains reports whether (x, y) lies in the rectangle.
+func (r Rect) Contains(x, y float64) bool {
+	return x >= r.MinX && x <= r.MaxX && y >= r.MinY && y <= r.MaxY
+}
+
+// Width and Height of the rectangle.
+func (r Rect) Width() float64  { return r.MaxX - r.MinX }
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Human is the single mobile person, modelled (for both blockage and depth
+// rendering) as a vertical cylinder.
+type Human struct {
+	Pos    Vec3    // feet position; Pos.Z is the floor height (normally 0)
+	Radius float64 // body radius in metres
+	Height float64 // body height in metres
+}
+
+// Center returns the mid-body point of the cylinder axis.
+func (h Human) Center() Vec3 {
+	return Vec3{h.Pos.X, h.Pos.Y, h.Pos.Z + h.Height/2}
+}
+
+// Room is the full static environment.
+type Room struct {
+	Width  float64 // X extent in metres
+	Depth  float64 // Y extent in metres
+	Height float64 // Z extent in metres
+
+	TX     Vec3 // transmitter antenna position
+	RX     Vec3 // receiver antenna position
+	Camera Vec3 // RGB-D camera position
+
+	// CameraLook is the unit vector the camera points along.
+	CameraLook Vec3
+
+	// MovementArea constrains the human so the camera sees all mobility.
+	MovementArea Rect
+
+	// WallReflectionLoss is the amplitude gain (<1) applied per wall bounce.
+	WallReflectionLoss float64
+}
+
+// Validate checks geometric consistency.
+func (r *Room) Validate() error {
+	if r.Width <= 0 || r.Depth <= 0 || r.Height <= 0 {
+		return fmt.Errorf("room: non-positive dimensions %gx%gx%g", r.Width, r.Depth, r.Height)
+	}
+	for _, p := range []struct {
+		name string
+		v    Vec3
+	}{{"TX", r.TX}, {"RX", r.RX}, {"Camera", r.Camera}} {
+		if p.v.X < 0 || p.v.X > r.Width || p.v.Y < 0 || p.v.Y > r.Depth || p.v.Z < 0 || p.v.Z > r.Height {
+			return fmt.Errorf("room: %s position %+v outside room", p.name, p.v)
+		}
+	}
+	if r.MovementArea.Width() <= 0 || r.MovementArea.Height() <= 0 {
+		return fmt.Errorf("room: empty movement area")
+	}
+	if r.WallReflectionLoss <= 0 || r.WallReflectionLoss >= 1 {
+		return fmt.Errorf("room: wall reflection loss %g outside (0,1)", r.WallReflectionLoss)
+	}
+	return nil
+}
+
+// DefaultLab returns a laboratory room mirroring the paper's measurement
+// setup (Fig. 2): TX and RX on opposite sides with the human's movement
+// area between them, camera mounted high on a wall looking across the room.
+func DefaultLab() *Room {
+	r := &Room{
+		Width:  8.0,
+		Depth:  6.0,
+		Height: 3.0,
+		TX:     Vec3{1.0, 3.0, 1.0},
+		RX:     Vec3{7.0, 3.0, 1.0},
+		Camera: Vec3{4.0, 0.3, 2.5},
+		// Camera looks into the room (positive Y), slightly downwards.
+		CameraLook:         Vec3{0, 1, -0.35}.Normalize(),
+		MovementArea:       Rect{MinX: 2.0, MinY: 1.2, MaxX: 6.0, MaxY: 4.8},
+		WallReflectionLoss: 0.25,
+	}
+	return r
+}
+
+// DefaultHuman returns the mobile person with typical body dimensions.
+func DefaultHuman(pos Vec3) Human {
+	return Human{Pos: pos, Radius: 0.25, Height: 1.8}
+}
+
+// SegmentDistanceToVertical returns the minimum distance between the 3D
+// segment a→b and the vertical axis segment through (cx, cy) from z=z0 to
+// z=z1. Used for both LoS blockage tests and camera occlusion.
+func SegmentDistanceToVertical(a, b Vec3, cx, cy, z0, z1 float64) float64 {
+	// Sample-free closed-ish form is fiddly; the segment lengths here are a
+	// few metres and millimetre accuracy suffices, so use golden-section
+	// search over the segment parameter of the 2D distance combined with a
+	// height clamp.
+	f := func(t float64) float64 {
+		p := a.Add(b.Sub(a).Scale(t))
+		dx, dy := p.X-cx, p.Y-cy
+		d2d := math.Hypot(dx, dy)
+		var dz float64
+		switch {
+		case p.Z < z0:
+			dz = z0 - p.Z
+		case p.Z > z1:
+			dz = p.Z - z1
+		}
+		return math.Hypot(d2d, dz)
+	}
+	// Golden-section search on [0, 1]; the distance function along the
+	// segment is unimodal for a convex obstacle.
+	const phi = 0.6180339887498949
+	lo, hi := 0.0, 1.0
+	x1 := hi - phi*(hi-lo)
+	x2 := lo + phi*(hi-lo)
+	f1, f2 := f(x1), f(x2)
+	for i := 0; i < 60; i++ {
+		if f1 < f2 {
+			hi, x2, f2 = x2, x1, f1
+			x1 = hi - phi*(hi-lo)
+			f1 = f(x1)
+		} else {
+			lo, x1, f1 = x1, x2, f2
+			x2 = lo + phi*(hi-lo)
+			f2 = f(x2)
+		}
+	}
+	m := f(0.5 * (lo + hi))
+	if e := f(0); e < m {
+		m = e
+	}
+	if e := f(1); e < m {
+		m = e
+	}
+	return m
+}

@@ -1,0 +1,302 @@
+package room
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-9
+
+func TestVec3Arithmetic(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{4, 5, 6}
+	if got := a.Add(b); got != (Vec3{5, 7, 9}) {
+		t.Fatalf("Add = %+v", got)
+	}
+	if got := b.Sub(a); got != (Vec3{3, 3, 3}) {
+		t.Fatalf("Sub = %+v", got)
+	}
+	if got := a.Scale(2); got != (Vec3{2, 4, 6}) {
+		t.Fatalf("Scale = %+v", got)
+	}
+	if got := a.Dot(b); got != 32 {
+		t.Fatalf("Dot = %v", got)
+	}
+}
+
+func TestVec3NormDist(t *testing.T) {
+	if got := (Vec3{3, 4, 0}).Norm(); math.Abs(got-5) > tol {
+		t.Fatalf("Norm = %v", got)
+	}
+	if got := (Vec3{1, 1, 1}).Dist(Vec3{1, 1, 3}); math.Abs(got-2) > tol {
+		t.Fatalf("Dist = %v", got)
+	}
+}
+
+func TestVec3Normalize(t *testing.T) {
+	v := Vec3{0, 3, 4}.Normalize()
+	if math.Abs(v.Norm()-1) > tol {
+		t.Fatalf("normalized norm = %v", v.Norm())
+	}
+	zero := Vec3{}
+	if zero.Normalize() != zero {
+		t.Fatal("zero vector normalize must be identity")
+	}
+}
+
+func TestVec3Cross(t *testing.T) {
+	x := Vec3{1, 0, 0}
+	y := Vec3{0, 1, 0}
+	if got := x.Cross(y); got != (Vec3{0, 0, 1}) {
+		t.Fatalf("x×y = %+v", got)
+	}
+	// Anti-commutative.
+	if got := y.Cross(x); got != (Vec3{0, 0, -1}) {
+		t.Fatalf("y×x = %+v", got)
+	}
+}
+
+func TestCrossOrthogonalityProperty(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		for _, v := range []float64{ax, ay, az, bx, by, bz} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				return true
+			}
+		}
+		a := Vec3{ax, ay, az}
+		b := Vec3{bx, by, bz}
+		c := a.Cross(b)
+		scale := a.Norm() * b.Norm()
+		if scale == 0 {
+			return true
+		}
+		return math.Abs(c.Dot(a))/scale < 1e-6 && math.Abs(c.Dot(b))/scale < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{1, 1, 3, 4}
+	if !r.Contains(2, 2) {
+		t.Fatal("interior point rejected")
+	}
+	if !r.Contains(1, 1) {
+		t.Fatal("boundary point rejected")
+	}
+	if r.Contains(0.5, 2) || r.Contains(2, 5) {
+		t.Fatal("exterior point accepted")
+	}
+	if r.Width() != 2 || r.Height() != 3 {
+		t.Fatalf("dims %v x %v", r.Width(), r.Height())
+	}
+}
+
+func TestHumanCenter(t *testing.T) {
+	h := DefaultHuman(Vec3{2, 3, 0})
+	c := h.Center()
+	if c.X != 2 || c.Y != 3 || math.Abs(c.Z-0.9) > tol {
+		t.Fatalf("Center = %+v", c)
+	}
+}
+
+func TestDefaultLabValid(t *testing.T) {
+	r := DefaultLab()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The movement area must sit between TX and RX so LoS blockage occurs.
+	if !(r.MovementArea.MinX > r.TX.X && r.MovementArea.MaxX < r.RX.X) {
+		t.Fatal("movement area should lie between TX and RX in X")
+	}
+}
+
+func TestValidateRejectsBadRooms(t *testing.T) {
+	cases := []func(*Room){
+		func(r *Room) { r.Width = 0 },
+		func(r *Room) { r.TX = Vec3{-1, 0, 0} },
+		func(r *Room) { r.RX = Vec3{0, 0, 99} },
+		func(r *Room) { r.Camera = Vec3{0, 99, 0} },
+		func(r *Room) { r.MovementArea = Rect{} },
+		func(r *Room) { r.WallReflectionLoss = 1.5 },
+		func(r *Room) { r.WallReflectionLoss = 0 },
+	}
+	for i, mutate := range cases {
+		r := DefaultLab()
+		mutate(r)
+		if err := r.Validate(); err == nil {
+			t.Fatalf("case %d: invalid room accepted", i)
+		}
+	}
+}
+
+func TestSegmentDistanceToVerticalDirectHit(t *testing.T) {
+	// Horizontal segment passing exactly through the axis at covered height.
+	d := SegmentDistanceToVertical(Vec3{0, 0, 1}, Vec3{4, 0, 1}, 2, 0, 0, 2)
+	if d > 1e-6 {
+		t.Fatalf("distance = %v want ~0", d)
+	}
+}
+
+func TestSegmentDistanceToVerticalOffset(t *testing.T) {
+	// Axis 1 m to the side of the segment.
+	d := SegmentDistanceToVertical(Vec3{0, 0, 1}, Vec3{4, 0, 1}, 2, 1, 0, 2)
+	if math.Abs(d-1) > 1e-6 {
+		t.Fatalf("distance = %v want 1", d)
+	}
+}
+
+func TestSegmentDistanceToVerticalAboveObstacle(t *testing.T) {
+	// Segment passes 0.5 m above the cylinder top.
+	d := SegmentDistanceToVertical(Vec3{0, 0, 2.5}, Vec3{4, 0, 2.5}, 2, 0, 0, 2)
+	if math.Abs(d-0.5) > 1e-6 {
+		t.Fatalf("distance = %v want 0.5", d)
+	}
+}
+
+func TestSegmentDistanceToVerticalEndpointsClosest(t *testing.T) {
+	// Axis beyond the far endpoint: the closest approach is at t=1.
+	d := SegmentDistanceToVertical(Vec3{0, 0, 1}, Vec3{1, 0, 1}, 3, 0, 0, 2)
+	if math.Abs(d-2) > 1e-6 {
+		t.Fatalf("distance = %v want 2", d)
+	}
+}
+
+func TestWalkerStaysInsideArea(t *testing.T) {
+	area := Rect{1, 1, 4, 5}
+	w := NewWalker(area, DefaultMobility(), rand.New(rand.NewPCG(1, 2)))
+	for i := 0; i < 5000; i++ {
+		p := w.Step(0.033)
+		if !area.Contains(p.X, p.Y) {
+			t.Fatalf("step %d left the area: %+v", i, p)
+		}
+	}
+}
+
+func TestWalkerMoves(t *testing.T) {
+	w := NewWalker(Rect{0, 0, 5, 5}, DefaultMobility(), rand.New(rand.NewPCG(3, 4)))
+	start := w.Pos()
+	var total float64
+	prev := start
+	for i := 0; i < 300; i++ {
+		p := w.Step(0.1)
+		total += p.Dist(prev)
+		prev = p
+	}
+	if total < 1 {
+		t.Fatalf("walker barely moved: %v m over 30 s", total)
+	}
+}
+
+func TestWalkerSpeedBounded(t *testing.T) {
+	cfg := MobilityConfig{SpeedMin: 0.5, SpeedMax: 1.4}
+	w := NewWalker(Rect{0, 0, 8, 8}, cfg, rand.New(rand.NewPCG(5, 6)))
+	prev := w.Pos()
+	for i := 0; i < 2000; i++ {
+		p := w.Step(0.05)
+		step := p.Dist(prev)
+		if step > cfg.SpeedMax*0.05+1e-9 {
+			t.Fatalf("step %d moved %v m in 50 ms (max %v m)", i, step, cfg.SpeedMax*0.05)
+		}
+		prev = p
+	}
+}
+
+func TestWalkerNegativeDt(t *testing.T) {
+	w := NewWalker(Rect{0, 0, 5, 5}, DefaultMobility(), rand.New(rand.NewPCG(7, 8)))
+	p0 := w.Pos()
+	if got := w.Step(-1); got != p0 {
+		t.Fatal("negative dt must not move the walker")
+	}
+}
+
+func TestWalkerDeterministicWithSeed(t *testing.T) {
+	mk := func() []Vec3 {
+		w := NewWalker(Rect{0, 0, 5, 5}, DefaultMobility(), rand.New(rand.NewPCG(11, 12)))
+		out := make([]Vec3, 50)
+		for i := range out {
+			out[i] = w.Step(0.033)
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give same trajectory")
+		}
+	}
+}
+
+func TestWalkerSampleTimestamps(t *testing.T) {
+	w := NewWalker(Rect{0, 0, 5, 5}, DefaultMobility(), rand.New(rand.NewPCG(13, 14)))
+	pts := w.Sample(10, 0.1)
+	if len(pts) != 10 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for i, p := range pts {
+		want := float64(i+1) * 0.1
+		if math.Abs(p.T-want) > tol {
+			t.Fatalf("pts[%d].T = %v want %v", i, p.T, want)
+		}
+	}
+}
+
+func TestWalkerPause(t *testing.T) {
+	cfg := MobilityConfig{SpeedMin: 10, SpeedMax: 10, PauseTime: 100}
+	w := NewWalker(Rect{0, 0, 1, 1}, cfg, rand.New(rand.NewPCG(15, 16)))
+	// Fast walker reaches first waypoint quickly then pauses for a long
+	// time; positions must stabilize.
+	w.Step(5)
+	p1 := w.Step(1)
+	p2 := w.Step(1)
+	if p1 != p2 {
+		t.Fatal("walker should be paused at waypoint")
+	}
+}
+
+func TestNewWalkerNilRngPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewWalker(Rect{0, 0, 1, 1}, DefaultMobility(), nil)
+}
+
+func TestScriptedPathInsideArea(t *testing.T) {
+	area := Rect{1, 1, 4, 5}
+	pts := ScriptedPath(area, 500, 0.1, 1.2)
+	for i, p := range pts {
+		if !area.Contains(p.Pos.X, p.Pos.Y) {
+			t.Fatalf("point %d outside area: %+v", i, p.Pos)
+		}
+	}
+}
+
+func TestScriptedPathCrossesCenter(t *testing.T) {
+	area := Rect{0, 0, 4, 4}
+	pts := ScriptedPath(area, 2000, 0.05, 1.0)
+	center := Vec3{2, 2, 0}
+	closest := math.Inf(1)
+	for _, p := range pts {
+		if d := p.Pos.Dist(center); d < closest {
+			closest = d
+		}
+	}
+	if closest > 0.2 {
+		t.Fatalf("path never near center (min dist %v)", closest)
+	}
+}
+
+func TestScriptedPathDeterministic(t *testing.T) {
+	a := ScriptedPath(Rect{0, 0, 3, 3}, 100, 0.1, 1)
+	b := ScriptedPath(Rect{0, 0, 3, 3}, 100, 0.1, 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("scripted path must be deterministic")
+		}
+	}
+}
