@@ -15,6 +15,7 @@ package vvd_test
 import (
 	"fmt"
 	"math/rand/v2"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -362,6 +363,32 @@ func BenchmarkTable1Scalability(b *testing.B) {
 		_ = experiments.RunScalability(0.05, 256)
 	}
 }
+
+// ---------- Parallel evaluation engine ----------
+
+// benchEvaluate measures the full 14-technique × all-combination decode
+// comparison at a fixed worker count. The shared engine's models are
+// warmed first, so iterations time the (combination × technique) fan-out
+// itself — compare Workers1 against WorkersMax for the parallel speedup.
+func benchEvaluate(b *testing.B, workers int) {
+	e := sharedEngine(b)
+	orig := e.P.Workers
+	e.P.Workers = workers
+	defer func() { e.P.Workers = orig }()
+	if _, err := e.Evaluate(core.AllTechniques); err != nil { // warm model caches
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Evaluate(core.AllTechniques); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluateWorkers1(b *testing.B) { benchEvaluate(b, 1) }
+
+func BenchmarkEvaluateWorkersMax(b *testing.B) { benchEvaluate(b, runtime.GOMAXPROCS(0)) }
 
 // ---------- Micro-benchmarks of the hot paths ----------
 

@@ -5,6 +5,7 @@
 //
 //	vvd-eval -figures all                 # scaled defaults
 //	vvd-eval -figures 12,16 -sets 8 -packets 150 -combos 5
+//	vvd-eval -figures 12 -workers 8       # parallel evaluation fan-out
 //	vvd-eval -paper                       # full-scale (hours)
 package main
 
@@ -28,6 +29,7 @@ func main() {
 		epochs  = flag.Int("epochs", 0, "override VVD training epochs")
 		paper   = flag.Bool("paper", false, "full paper-scale parameters (very slow)")
 		seed    = flag.Uint64("seed", 0, "override campaign seed")
+		workers = flag.Int("workers", 0, "parallel (combination × technique) evaluation tasks (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -52,6 +54,9 @@ func main() {
 	}
 	if *seed > 0 {
 		p.Campaign.Seed = *seed
+	}
+	if *workers > 0 {
+		p.Workers = *workers
 	}
 
 	want := map[string]bool{}

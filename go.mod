@@ -1,0 +1,3 @@
+module vvd
+
+go 1.24

@@ -292,6 +292,17 @@ func (v *VVD) Estimate(img []float32) ([]complex128, error) {
 	return h, nil
 }
 
+// Clone returns a VVD sharing the trained weights but owning private
+// forward caches, so Estimate can run concurrently on the clone and the
+// original (the weights are only read during inference).
+func (v *VVD) Clone() *VVD {
+	cp := &VVD{Norm: v.Norm, Mean: v.Mean, Lag: v.Lag}
+	if v.Net != nil {
+		cp.Net = v.Net.Clone()
+	}
+	return cp
+}
+
 // Save serializes the model weights, normalization factor and mean CIR.
 func (v *VVD) Save(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "VVDMODEL2 %d %.17g %d\n", int(v.Lag), v.Norm, len(v.Mean)); err != nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"fmt"
 	"math/cmplx"
 	"math/rand/v2"
 	"testing"
@@ -168,6 +169,55 @@ func TestTrainingLearnsChannelBetterThanMean(t *testing.T) {
 	}
 	if vvdErr >= meanErr {
 		t.Fatalf("VVD MSE %v not below mean-predictor MSE %v", vvdErr, meanErr)
+	}
+}
+
+func TestVVDCloneSharesWeights(t *testing.T) {
+	c := tinyCampaign(t)
+	cfg := TrainConfig{Arch: tinyArch(), Epochs: 2, Batch: 8, Seed: 5, LR: 1e-3}
+	v, _, err := Train(c, tinyCombo, dataset.LagCurrent, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := v.Clone()
+	if cp.Net == v.Net {
+		t.Fatal("clone shares the Network instance (forward caches would race)")
+	}
+	img := c.Sets[2].Packets[0].Images[dataset.LagCurrent]
+	a, err := v.Estimate(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cp.Estimate(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("clone estimate differs at tap %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Concurrent inference on independent clones must agree with the
+	// sequential result (run under -race to catch cache sharing).
+	done := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		go func() {
+			h, err := v.Clone().Estimate(img)
+			if err == nil {
+				for i := range h {
+					if h[i] != a[i] {
+						err = fmt.Errorf("concurrent clone diverged at tap %d", i)
+						break
+					}
+				}
+			}
+			done <- err
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 

@@ -23,8 +23,7 @@ func tinyParams() Params {
 			Arch:   core.Arch{Conv1: 2, Conv2: 2, Conv3: 4, Conv4: 4, Dense: 16, Pool: nn.AvgPool},
 			Epochs: 2, Batch: 8, Workers: 2, Seed: 3, LR: 1e-3,
 		},
-		KalmanOrders: []int{1, 5, 20},
-		SkipPackets:  6,
+		SkipPackets: 6,
 	}
 }
 

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"testing"
+
+	"vvd/internal/core"
+	"vvd/internal/dataset"
+)
+
+func TestRegistryCoversAllTechniques(t *testing.T) {
+	if len(core.AllTechniques) != 14 {
+		t.Fatalf("paper defines 14 techniques, core lists %d", len(core.AllTechniques))
+	}
+	for _, name := range core.AllTechniques {
+		if _, err := Lookup(name); err != nil {
+			t.Fatalf("technique %q not registered: %v", name, err)
+		}
+	}
+}
+
+func TestLookupUnknownTechnique(t *testing.T) {
+	if _, err := Lookup("Carrier Pigeon"); err == nil {
+		t.Fatal("unknown technique resolved")
+	}
+}
+
+// assertSameResults compares two evaluation outputs field-exactly — the
+// parallel engine must be byte-identical to the sequential one.
+func assertSameResults(t *testing.T, want, got []*ComboResult) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("result count %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i].Combo.Number != got[i].Combo.Number {
+			t.Fatalf("combo order differs at %d: %d vs %d", i, got[i].Combo.Number, want[i].Combo.Number)
+		}
+		if len(want[i].Counters) != len(got[i].Counters) {
+			t.Fatalf("combo %d technique count %d != %d", i, len(got[i].Counters), len(want[i].Counters))
+		}
+		for name, w := range want[i].Counters {
+			g, ok := got[i].Counters[name]
+			if !ok {
+				t.Fatalf("combo %d missing technique %q", i, name)
+			}
+			if g.Packets != w.Packets || g.PacketErrs != w.PacketErrs ||
+				g.Chips != w.Chips || g.ChipErrs != w.ChipErrs {
+				t.Fatalf("combo %d technique %q counters differ: %+v vs %+v", i, name, g, w)
+			}
+			if g.HasMSE() != w.HasMSE() || g.MSE() != w.MSE() {
+				t.Fatalf("combo %d technique %q MSE differs: %v vs %v", i, name, g.MSE(), w.MSE())
+			}
+		}
+	}
+}
+
+// TestEvaluateParallelMatchesSequential is the determinism contract of the
+// worker pool: Workers=1 and Workers=8 must produce identical ComboResults
+// over all 14 techniques. Run under -race this also exercises the
+// singleflight model caches, shared reception preparation and per-task
+// estimator clones.
+func TestEvaluateParallelMatchesSequential(t *testing.T) {
+	e := sharedEngine(t)
+	origWorkers := e.P.Workers
+	defer func() { e.P.Workers = origWorkers }()
+
+	e.P.Workers = 1
+	seq, err := e.Evaluate(nil) // nil = all 14 techniques
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.P.Workers = 8
+	par, err := e.Evaluate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, seq, par)
+}
+
+// TestEvaluateComboMatchesParallel pins the single-combo sequential API to
+// the fan-out path.
+func TestEvaluateComboMatchesParallel(t *testing.T) {
+	e := sharedEngine(t)
+	cb := e.Combos()[0]
+	techs := []string{core.TechStandard, core.TechKalmanAR5, core.TechCombinedKalman, core.TechVVDCurrent}
+	single, err := e.EvaluateCombo(cb, techs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origWorkers := e.P.Workers
+	defer func() { e.P.Workers = origWorkers }()
+	e.P.Workers = 4
+	fan, err := e.Evaluate(techs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, []*ComboResult{single}, fan[:1])
+}
+
+func TestEvaluateUnknownTechniqueFails(t *testing.T) {
+	e := sharedEngine(t)
+	if _, err := e.Evaluate([]string{"Carrier Pigeon"}); err == nil {
+		t.Fatal("unknown technique accepted by Evaluate")
+	}
+	if _, err := e.EvaluateCombo(e.Combos()[0], []string{"Carrier Pigeon"}); err == nil {
+		t.Fatal("unknown technique accepted by EvaluateCombo")
+	}
+}
+
+// TestRegisterCustomTechnique shows the registry's extension point: a new
+// technique is one Register call, no engine changes.
+func TestRegisterCustomTechnique(t *testing.T) {
+	const name = "True CIR Oracle (test)"
+	Register(name, func(e *Engine, cb dataset.Combination) (Estimator, error) {
+		return staticEstimator{name: name, est: func(pkt *dataset.Packet) ([]complex128, Availability) {
+			return pkt.TrueCIR, Available
+		}}, nil
+	})
+	e := sharedEngine(t)
+	res, err := e.EvaluateCombo(e.Combos()[0], []string{name, core.TechStandard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Counters[name]
+	if c == nil || c.Packets == 0 {
+		t.Fatal("custom technique produced no packets")
+	}
+	if !c.HasMSE() {
+		t.Fatal("custom technique should score MSE")
+	}
+}
+
+// TestSkipOnlyTechniqueOmitted pins the original engine's reporting rule:
+// a technique that never produced a countable packet is left out of the
+// result instead of surfacing as a zero-error counter in BoxOver.
+func TestSkipOnlyTechniqueOmitted(t *testing.T) {
+	const name = "Always Skip (test)"
+	Register(name, func(e *Engine, cb dataset.Combination) (Estimator, error) {
+		return staticEstimator{name: name, est: func(pkt *dataset.Packet) ([]complex128, Availability) {
+			return nil, Skip
+		}}, nil
+	})
+	e := sharedEngine(t)
+	res, err := e.EvaluateCombo(e.Combos()[0], []string{name, core.TechStandard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Counters[name]; ok {
+		t.Fatal("skip-only technique reported a counter")
+	}
+	if _, ok := res.Counters[core.TechStandard]; !ok {
+		t.Fatal("standard decoding missing")
+	}
+	fan, err := e.Evaluate([]string{name, core.TechStandard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fan[0].Counters[name]; ok {
+		t.Fatal("skip-only technique reported a counter in Evaluate")
+	}
+}
+
+// TestKalmanForReturnsClones is the aliasing-bug regression test: two
+// callers must never share filter state.
+func TestKalmanForReturnsClones(t *testing.T) {
+	e := sharedEngine(t)
+	cb := e.Combos()[0]
+	k1, err := e.KalmanFor(cb, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := e.KalmanFor(cb, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k2 {
+		t.Fatal("KalmanFor handed out a shared instance")
+	}
+	// Advancing one clone must not leak into a later clone: interleaved
+	// figures each see a pristine filter.
+	for k := 0; k < 4; k++ {
+		if err := k1.Update(e.Campaign.TestPackets(cb)[k].PerfectAligned); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k3, err := e.KalmanFor(cb, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3.Seen() != 0 {
+		t.Fatalf("fresh clone has seen %d updates (cache corrupted)", k3.Seen())
+	}
+}

@@ -284,6 +284,33 @@ func (e *Estimator) Reset() {
 	e.seen = 0
 }
 
+// clone deep-copies the mutable filter state (state vector and error
+// covariance); the transition and noise matrices are immutable after
+// construction and shared with the original.
+func (f *tapFilter) clone() *tapFilter {
+	x := make([]complex128, len(f.x))
+	copy(x, f.x)
+	return &tapFilter{p: f.p, phi: f.phi, x: x, cov: f.cov.Clone(), q: f.q, u: f.u}
+}
+
+// Clone returns an independent estimator with the same fitted AR model and
+// a copy of the current filter state. Clones never share mutable state, so
+// each can be advanced (Predict/Update) concurrently with the original —
+// the replacement for replaying one shared instance via Reset.
+func (e *Estimator) Clone() *Estimator {
+	cp := &Estimator{Order: e.Order, Taps: e.Taps, seen: e.seen}
+	cp.filters = make([]*tapFilter, len(e.filters))
+	for i, f := range e.filters {
+		cp.filters[i] = f.clone()
+	}
+	cp.history = make([][]complex128, len(e.history))
+	for i, h := range e.history {
+		cp.history[i] = make([]complex128, len(h))
+		copy(cp.history[i], h)
+	}
+	return cp
+}
+
 // Norm2Error returns ‖a−b‖² — helper shared by tests and experiments.
 func Norm2Error(a, b []complex128) float64 {
 	var s float64

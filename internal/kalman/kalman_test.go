@@ -167,6 +167,89 @@ func TestResetClearsState(t *testing.T) {
 	}
 }
 
+func TestCloneIndependentState(t *testing.T) {
+	series := synthAR(200, 3, 0.9, 0.1, 5)
+	est, err := Fit(series[:100], 2, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advance the original a bit, clone, then diverge the two.
+	for k := 100; k < 110; k++ {
+		if err := est.Update(series[k]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := est.Predict(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp := est.Clone()
+	if cp.Seen() != est.Seen() {
+		t.Fatalf("clone seen %d want %d", cp.Seen(), est.Seen())
+	}
+	// Both replay the same future: identical predictions.
+	for k := 110; k < 130; k++ {
+		if err := est.Update(series[k]); err != nil {
+			t.Fatal(err)
+		}
+		if err := cp.Update(series[k]); err != nil {
+			t.Fatal(err)
+		}
+		a, err := est.Predict()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := cp.Predict()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Norm2Error(a, b) != 0 {
+			t.Fatalf("clone diverged from original at packet %d", k)
+		}
+	}
+	// Mutating the clone must not touch the original.
+	if err := cp.Update(series[130]); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Seen() == est.Seen() {
+		t.Fatal("clone Update leaked into original's seen counter")
+	}
+}
+
+func TestCloneConcurrentAdvance(t *testing.T) {
+	series := synthAR(300, 3, 0.9, 0.1, 9)
+	est, err := Fit(series[:100], 1, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := est.Clone()
+	done := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		go func() {
+			cp := est.Clone()
+			for k := 100; k < 300; k++ {
+				if err := cp.Update(series[k]); err != nil {
+					done <- err
+					return
+				}
+				if _, err := cp.Predict(); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pristine original untouched by the concurrent clones.
+	if est.Seen() != ref.Seen() {
+		t.Fatal("concurrent clones mutated the original")
+	}
+}
+
 func TestReplayDeterministic(t *testing.T) {
 	series := synthAR(500, 3, 0.8, 0.1, 29)
 	est, err := Fit(series[:300], 2, 1e-6)
