@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"vvd/internal/channel"
 	"vvd/internal/core"
@@ -27,6 +28,7 @@ import (
 	"vvd/internal/nn"
 	"vvd/internal/phy"
 	"vvd/internal/room"
+	"vvd/internal/serve"
 )
 
 // benchParams is the shared laptop-scale configuration.
@@ -520,3 +522,127 @@ func BenchmarkCNNTrainingStep(b *testing.B) {
 		}
 	}
 }
+
+// ---------- Batched inference (the serving hot path) ----------
+
+// BenchmarkForwardBatch measures batched CNN inference at several batch
+// sizes; compare the frames/s metric across sub-benchmarks. The batched
+// kernels traverse each layer's weights once per batch (and split large
+// batches across cores), so batch8 should beat batch1 throughput by well
+// over 1.5× on a multi-core machine — the amortization internal/serve
+// banks on when frames queue up during an inference.
+func BenchmarkForwardBatch(b *testing.B) {
+	net, err := core.BuildNetwork(core.ScaledArch(), rand.New(rand.NewPCG(5, 9)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(10, 20))
+	for _, batch := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			ins := make([][]float64, batch)
+			for s := range ins {
+				x := make([]float64, core.InputShape.Size())
+				for i := range x {
+					x[i] = rng.Float64()*4 + 0.5 // depth-like: all nonzero
+				}
+				ins[s] = x
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := net.ForwardBatch(ins); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+		})
+	}
+}
+
+// ---------- Multi-link serving (internal/serve) ----------
+
+// benchServeLinks drives the serving pipeline with a real trained model
+// under nLinks concurrent link sessions: a feeder submits camera frames in
+// bursts (so batched inference engages) while every link consumes the
+// estimate stream. Reported metrics are sustained inference and serving
+// throughput plus the mean estimate age links observed — the multi-link
+// claim of paper §6.6/Table 1 under load.
+func benchServeLinks(b *testing.B, nLinks int) {
+	e := sharedEngine(b)
+	cb := e.Combos()[0]
+	v, err := e.VVDFor(cb, dataset.LagCurrent)
+	if err != nil {
+		b.Fatal(err)
+	}
+	img := e.Campaign.Sets[cb.Test-1].Packets[0].Images[dataset.LagCurrent]
+	svc, err := serve.New(serve.Config{
+		Estimator:  v.Clone(),
+		InputSize:  len(img),
+		QueueDepth: 16,
+		MaxBatch:   8,
+		LinkBuffer: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < nLinks; i++ {
+		l, err := svc.OpenLink(fmt.Sprintf("link-%04d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		wg.Add(1)
+		go func(l *serve.Link) {
+			defer wg.Done()
+			for {
+				if _, ok := l.Next(20 * time.Millisecond); !ok {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
+			}
+		}(l)
+	}
+	const burst = 8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var last uint64
+		for j := 0; j < burst; j++ {
+			seq, _, err := svc.Submit(img)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = seq
+		}
+		if _, ok := svc.WaitFor(last, 30*time.Second); !ok {
+			b.Fatal("estimate never published")
+		}
+	}
+	b.StopTimer()
+	m := svc.Metrics()
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(m.FramesInferred)/elapsed, "frames/s")
+		b.ReportMetric(float64(m.EstimatesServed)/elapsed, "served/s")
+	}
+	var ageTotal time.Duration
+	var served uint64
+	for _, st := range svc.Links() {
+		ageTotal += st.MeanAge * time.Duration(st.Served)
+		served += st.Served
+	}
+	if served > 0 {
+		b.ReportMetric(float64(ageTotal/time.Duration(served))/float64(time.Millisecond), "age-ms")
+	}
+	close(done)
+	wg.Wait()
+	if err := svc.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkServeLinks1(b *testing.B)    { benchServeLinks(b, 1) }
+func BenchmarkServeLinks100(b *testing.B)  { benchServeLinks(b, 100) }
+func BenchmarkServeLinks1000(b *testing.B) { benchServeLinks(b, 1000) }

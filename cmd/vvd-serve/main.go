@@ -1,0 +1,176 @@
+// Command vvd-serve runs the multi-link estimation service over HTTP: a
+// trained VVD model behind a batched inference pipeline that serves fresh
+// CIR estimates to any number of link sessions (paper §6.6 — one camera
+// stream serves every link in the room).
+//
+// Usage:
+//
+//	vvd-serve -model vvd.model -addr :8990
+//	vvd-serve -demo
+//
+// With -model, the server waits for depth frames to be POSTed (a camera
+// gateway would do this); -demo instead simulates the whole deployment:
+// it generates a small campaign, trains a tiny model on it (about a
+// minute) and feeds the held-out take's frames in a loop at 30 fps, so
+// every endpoint serves live data immediately.
+//
+// Endpoints (JSON):
+//
+//	POST   /estimate   {"link":"sensor-1","image":[...4500 floats...]}
+//	                   submit a frame and return the resulting estimate
+//	GET    /estimate?link=sensor-1    freshest estimate for a link session
+//	GET    /links                     per-session serving statistics
+//	DELETE /links?id=sensor-1         close a link session
+//	GET    /metricsz                  pipeline counters
+//
+// Try it:
+//
+//	curl -s localhost:8990/estimate?link=sensor-1 | head
+//	curl -s localhost:8990/metricsz
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vvd/internal/camera"
+	"vvd/internal/core"
+	"vvd/internal/dataset"
+	"vvd/internal/nn"
+	"vvd/internal/serve"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "vvd.model", "model file from vvd-train")
+		addr      = flag.String("addr", ":8990", "HTTP listen address")
+		queue     = flag.Int("queue", 8, "frame queue depth (drop-oldest beyond)")
+		batch     = flag.Int("batch", 8, "max frames per batched inference")
+		linkBuf   = flag.Int("linkbuf", 4, "per-link estimate inbox depth")
+		maxLinks  = flag.Int("maxlinks", 10000, "max open link sessions (0 = unlimited)")
+		demo      = flag.Bool("demo", false, "train a tiny model and feed simulated camera frames")
+	)
+	flag.Parse()
+
+	var model *core.VVD
+	var feed [][]float32
+	if *demo {
+		var err error
+		if model, feed, err = demoModel(); err != nil {
+			fatal(err)
+		}
+	} else {
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			fatal(fmt.Errorf("%w (train one with vvd-train, or use -demo)", err))
+		}
+		model, err = core.LoadModel(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded %s: VVD lag %d, %d parameters\n", *modelPath, model.Lag, model.Net.NumParams())
+	}
+
+	svc, err := serve.New(serve.Config{
+		Estimator:  model,
+		InputSize:  model.Net.In.Size(),
+		QueueDepth: *queue,
+		MaxBatch:   *batch,
+		LinkBuffer: *linkBuf,
+		MaxLinks:   *maxLinks,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	stopFeed := make(chan struct{})
+	if feed != nil {
+		go runCamera(svc, feed, stopFeed)
+	}
+
+	server := &http.Server{Addr: *addr, Handler: serve.NewHandler(svc)}
+	go func() {
+		fmt.Printf("serving on %s  (GET /estimate?link=..., GET /links, GET /metricsz)\n", *addr)
+		if err := server.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\nshutting down...")
+	close(stopFeed)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = server.Shutdown(ctx)
+	_ = svc.Close()
+	m := svc.Metrics()
+	fmt.Printf("served %d estimates over %d links; %d frames inferred in %d batches (mean %.1f/batch, infer mean %v/frame)\n",
+		m.EstimatesServed, m.ActiveLinks, m.FramesInferred, m.Batches, m.MeanBatch, m.InferMeanFrame.Round(10*time.Microsecond))
+}
+
+// demoModel simulates a campaign, trains a small VVD-Current on it and
+// returns the held-out take's frame stream.
+func demoModel() (*core.VVD, [][]float32, error) {
+	cfg := dataset.DefaultConfig()
+	cfg.Sets = 3
+	cfg.PacketsPerSet = 80
+	cfg.PSDULen = 64
+	fmt.Println("demo: simulating campaign and training a tiny VVD (about a minute)...")
+	campaign, err := dataset.Generate(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	combo := dataset.Combination{Number: 1, Training: []int{1}, Val: 2, Test: 3}
+	model, _, err := core.Train(campaign, combo, dataset.LagCurrent, core.TrainConfig{
+		Arch:   core.Arch{Conv1: 4, Conv2: 4, Conv3: 8, Conv4: 8, Dense: 32, Pool: nn.AvgPool},
+		Epochs: 10, Batch: 16, Seed: 6, LR: 2.5e-3,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var feed [][]float32
+	for _, pkt := range campaign.TestPackets(combo) {
+		if img := pkt.Images[dataset.LagCurrent]; img != nil {
+			feed = append(feed, img)
+		}
+	}
+	if len(feed) == 0 {
+		return nil, nil, fmt.Errorf("demo campaign produced no frames")
+	}
+	fmt.Printf("demo: trained (%d parameters), replaying %d frames at %.0f fps\n",
+		model.Net.NumParams(), len(feed), camera.FrameRate)
+	return model, feed, nil
+}
+
+// runCamera feeds the demo frame stream in a loop at the camera rate.
+func runCamera(svc *serve.Service, feed [][]float32, stop <-chan struct{}) {
+	interval := camera.FrameInterval * float64(time.Second)
+	tick := time.NewTicker(time.Duration(interval))
+	defer tick.Stop()
+	i := 0
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			if _, _, err := svc.Submit(feed[i%len(feed)]); err != nil {
+				return
+			}
+			i++
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vvd-serve:", err)
+	os.Exit(1)
+}

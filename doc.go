@@ -5,6 +5,11 @@
 // channel estimators on a simulated IEEE 802.15.4 testbed.
 //
 // The implementation lives under internal/ (see DESIGN.md for the system
-// inventory); bench_test.go regenerates every table and figure of the
-// paper's evaluation; examples/ contains runnable scenarios.
+// inventory and README.md for a tour); bench_test.go regenerates every
+// table and figure of the paper's evaluation; examples/ contains runnable
+// scenarios. Beyond the evaluation, internal/serve and cmd/vvd-serve turn
+// the trained CNN into a long-running multi-link estimation service —
+// batched inference behind a bounded drop-oldest frame queue, serving
+// freshest-wins channel estimates to concurrent link sessions over
+// HTTP/JSON (the paper's §6.6 real-time argument as infrastructure).
 package vvd

@@ -2,13 +2,14 @@
 //
 // The paper argues VVD is real-time capable if one CNN inference fits
 // inside the channel's coherence time (~50 ms indoors): they measured
-// ≈0.9 ms on a GPU and ≈9.8 ms on a 2013 CPU. This example builds the
-// actual pipeline: a camera goroutine emits depth frames at 30 fps, an
-// estimator goroutine runs the CNN on every frame and publishes the latest
-// CIR estimate, and a receiver goroutine decodes packets as they arrive
-// using whatever estimate is freshest — exactly how a deployment would
-// wire VVD into a sniffer. It reports the measured inference latency, the
-// estimate age at each decode, and how both compare to the coherence time.
+// ≈0.9 ms on a GPU and ≈9.8 ms on a 2013 CPU. This example wires the
+// actual deployment pipeline using internal/serve: a camera goroutine
+// submits depth frames at 30 fps into the service's bounded drop-oldest
+// queue, the service's estimator goroutine runs (batched) CNN inference
+// and publishes the latest CIR freshest-wins, and a receiver link session
+// decodes packets as they arrive using whatever estimate is freshest. It
+// reports the measured inference latency, the estimate age at each
+// decode, and how both compare to the coherence time.
 //
 // Run with:
 //
@@ -18,7 +19,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"sync"
 	"time"
 
 	"vvd/internal/camera"
@@ -26,28 +26,8 @@ import (
 	"vvd/internal/dataset"
 	"vvd/internal/metrics"
 	"vvd/internal/nn"
+	"vvd/internal/serve"
 )
-
-// estimateBox publishes the most recent channel estimate to the receiver.
-type estimateBox struct {
-	mu     sync.Mutex
-	cir    []complex128
-	stamp  time.Time
-	frames int
-}
-
-func (b *estimateBox) put(cir []complex128, t time.Time) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.cir, b.stamp = cir, t
-	b.frames++
-}
-
-func (b *estimateBox) get() ([]complex128, time.Time) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.cir, b.stamp
-}
 
 func main() {
 	const coherence = 50 * time.Millisecond // paper §6.6, [10]
@@ -71,20 +51,30 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Online phase: replay the held-out take in real time (scaled 10×
-	// faster so the demo finishes quickly; latencies are measured, not
-	// scaled).
+	// Online phase: the serving pipeline. Replay the held-out take in real
+	// time (scaled 10× faster so the demo finishes quickly; latencies are
+	// measured, not scaled).
 	var speedup = 10.0
 	test := campaign.TestPackets(combo)
 	frameTick := time.Duration(camera.FrameInterval / speedup * float64(time.Second))
 
-	frames := make(chan []float32, 4)
-	stop := make(chan struct{})
-	box := &estimateBox{}
+	svc, err := serve.New(serve.Config{
+		Estimator:  vvd,
+		InputSize:  vvd.Net.In.Size(),
+		QueueDepth: 4,
+		MaxBatch:   4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	link, err := svc.OpenLink("receiver-1")
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	// Camera: emits the frame stream of the take.
+	// Camera: submits the frame stream of the take into the service.
+	stop := make(chan struct{})
 	go func() {
-		defer close(frames)
 		tick := time.NewTicker(frameTick)
 		defer tick.Stop()
 		for _, pkt := range test {
@@ -92,83 +82,56 @@ func main() {
 			case <-stop:
 				return
 			case <-tick.C:
-				frames <- pkt.Images[dataset.LagCurrent]
+				if _, _, err := svc.Submit(pkt.Images[dataset.LagCurrent]); err != nil {
+					return
+				}
 			}
 		}
 	}()
 
-	// Estimator: one CNN inference per frame, publishes the latest CIR.
-	var inferTotal time.Duration
-	var inferN int
-	var inferMu sync.Mutex
-	go func() {
-		for img := range frames {
-			t0 := time.Now()
-			cir, err := vvd.Estimate(img)
-			d := time.Since(t0)
-			if err != nil {
-				log.Fatal(err)
-			}
-			inferMu.Lock()
-			inferTotal += d
-			inferN++
-			inferMu.Unlock()
-			box.put(cir, time.Now())
-		}
-	}()
-
-	// Receiver: packets arrive every 100 ms (wall: 10 ms); decode each with
-	// the freshest published estimate.
+	// Receiver: packets arrive every 100 ms (wall: 10 ms); decode each
+	// with the freshest published estimate from the link session.
 	var counter metrics.Counter
-	var ageTotal time.Duration
-	var ageMax time.Duration
 	decoded := 0
 	rx := campaign.Receiver
 	packetTick := time.NewTicker(time.Duration(dataset.PacketInterval / speedup * float64(time.Second)))
 	defer packetTick.Stop()
 	for _, pkt := range test {
 		<-packetTick.C
-		cir, stamp := box.get()
-		if cir == nil {
+		est, ok := link.Latest()
+		if !ok {
 			continue // estimator warming up
-		}
-		age := time.Since(stamp)
-		ageTotal += age
-		if age > ageMax {
-			ageMax = age
 		}
 		ppdu, _, txChips, rec, err := campaign.Reception(combo.Test, pkt.Index)
 		if err != nil {
 			log.Fatal(err)
 		}
 		rxc, _ := rx.CorrectCFO(rec.Waveform)
-		res := rx.Decode(rxc, ppdu, txChips, cir)
+		res := rx.Decode(rxc, ppdu, txChips, est.CIR)
 		counter.AddPacket(res.PacketOK, res.ChipErrors, res.PSDUChips)
 		decoded++
 	}
 	close(stop)
-
-	inferMu.Lock()
-	meanInfer := time.Duration(0)
-	if inferN > 0 {
-		meanInfer = inferTotal / time.Duration(inferN)
+	if err := svc.Close(); err != nil {
+		log.Fatal(err)
 	}
-	frames32 := inferN
-	inferMu.Unlock()
 
+	m := svc.Metrics()
+	st := link.Stats()
 	fmt.Printf("\nonline phase (replayed %.0f× real time):\n", speedup)
-	fmt.Printf("  frames processed:        %d\n", frames32)
-	fmt.Printf("  mean CNN inference:      %v   (paper: ≈0.9 ms GPU, ≈9.8 ms CPU)\n", meanInfer.Round(10*time.Microsecond))
+	fmt.Printf("  frames inferred:         %d in %d batches (mean %.1f frames/batch, %d dropped)\n",
+		m.FramesInferred, m.Batches, m.MeanBatch, m.FramesDropped)
+	fmt.Printf("  mean CNN inference:      %v per frame (batched; paper: ≈0.9 ms GPU, ≈9.8 ms CPU)\n", m.InferMeanFrame.Round(10*time.Microsecond))
 	fmt.Printf("  packets decoded blind:   %d  (PER %.3f, CER %.4f)\n", decoded, counter.PER(), counter.CER())
-	if decoded > 0 {
+	if st.Served > 0 {
 		fmt.Printf("  estimate age at decode:  mean %v, max %v (wall clock, %.0fx compressed)\n",
-			(ageTotal / time.Duration(decoded)).Round(10*time.Microsecond), ageMax.Round(10*time.Microsecond), speedup)
+			st.MeanAge.Round(10*time.Microsecond), st.MaxAge.Round(10*time.Microsecond), speedup)
 	}
-	if meanInfer < coherence {
-		fmt.Printf("\ninference (%v) fits within the %v coherence time — real-time capable, as the paper projects.\n",
-			meanInfer.Round(10*time.Microsecond), coherence)
+	if m.InferMeanFrame < coherence {
+		fmt.Printf("\ninference (%v per frame) fits within the %v coherence time — real-time capable, as the paper projects.\n",
+			m.InferMeanFrame.Round(10*time.Microsecond), coherence)
 	} else {
-		fmt.Printf("\ninference (%v) exceeds the %v coherence time — a faster CNN or hardware is needed.\n",
-			meanInfer.Round(10*time.Microsecond), coherence)
+		fmt.Printf("\ninference (%v per frame) exceeds the %v coherence time — a faster CNN or hardware is needed.\n",
+			m.InferMeanFrame.Round(10*time.Microsecond), coherence)
 	}
 }

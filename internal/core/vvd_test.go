@@ -316,3 +316,56 @@ func TestTechniqueLists(t *testing.T) {
 		}
 	}
 }
+
+// TestEstimateBatchMatchesEstimate pins the serving-path contract:
+// batched inference returns exactly what per-image Estimate would.
+func TestEstimateBatchMatchesEstimate(t *testing.T) {
+	net, err := BuildNetwork(tinyArch(), rand.New(rand.NewPCG(8, 16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := make([]complex128, OutputTaps)
+	for i := range mean {
+		mean[i] = complex(float64(i)*0.01, -float64(i)*0.02)
+	}
+	v := &VVD{Net: net, Norm: 1.7, Mean: mean, Lag: dataset.LagCurrent}
+
+	rng := rand.New(rand.NewPCG(4, 2))
+	imgs := make([][]float32, 5)
+	for s := range imgs {
+		img := make([]float32, InputShape.Size())
+		for i := range img {
+			img[i] = rng.Float32()
+		}
+		imgs[s] = img
+	}
+	got, err := v.EstimateBatch(imgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(imgs) {
+		t.Fatalf("got %d estimates, want %d", len(got), len(imgs))
+	}
+	for s, img := range imgs {
+		want, err := v.Estimate(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[s][i] != want[i] {
+				t.Fatalf("image %d tap %d: batch %v != single %v", s, i, got[s][i], want[i])
+			}
+		}
+	}
+
+	if _, err := v.EstimateBatch([][]float32{make([]float32, 3)}); err == nil {
+		t.Fatal("expected size-mismatch error")
+	}
+	if out, err := v.EstimateBatch(nil); err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: got %v, %v", out, err)
+	}
+	var untrained VVD
+	if _, err := untrained.EstimateBatch(imgs); err == nil {
+		t.Fatal("expected untrained error")
+	}
+}

@@ -1,0 +1,57 @@
+package experiments_test
+
+import (
+	"fmt"
+
+	"vvd/internal/dataset"
+	"vvd/internal/experiments"
+)
+
+// oracleEstimator is a custom technique: it "estimates" the channel by
+// returning the packet's own aligned perfect CIR — ground truth under a
+// different name. It also implements the optional MSEExempt refinement so
+// the engine does not score it against itself.
+type oracleEstimator struct{}
+
+func (oracleEstimator) Name() string { return "Example Oracle" }
+
+func (oracleEstimator) Estimate(k int, pkt *dataset.Packet) ([]complex128, experiments.Availability, error) {
+	if pkt.PerfectAligned == nil {
+		// No measurement for this packet: count it as a packet error.
+		return nil, experiments.Unavailable, nil
+	}
+	return pkt.PerfectAligned, experiments.Available, nil
+}
+
+func (oracleEstimator) MSEExempt() bool { return true }
+
+// ExampleRegister adds a 15th technique to the paper's 14-technique
+// comparison. One Register call is the entire integration: the engine
+// resolves the name through the registry and evaluates the estimator like
+// any built-in (pass the name to Engine.Evaluate). Builders receive the
+// engine and combination so they can obtain shared models from the engine
+// caches; this oracle needs neither.
+func ExampleRegister() {
+	experiments.Register("Example Oracle", func(e *experiments.Engine, cb dataset.Combination) (experiments.Estimator, error) {
+		return oracleEstimator{}, nil
+	})
+
+	builder, err := experiments.Lookup("Example Oracle")
+	if err != nil {
+		panic(err)
+	}
+	est, err := builder(nil, dataset.Combination{})
+	if err != nil {
+		panic(err)
+	}
+
+	pkt := &dataset.Packet{PerfectAligned: []complex128{0.5 - 0.25i}}
+	h, avail, _ := est.Estimate(0, pkt)
+	fmt.Printf("%s: %v, h[0] = %v\n", est.Name(), avail, h[0])
+
+	_, avail, _ = est.Estimate(1, &dataset.Packet{})
+	fmt.Printf("missing measurement: %v\n", avail)
+	// Output:
+	// Example Oracle: Available, h[0] = (0.5-0.25i)
+	// missing measurement: Unavailable
+}

@@ -10,7 +10,9 @@ import (
 
 // Availability describes whether a technique can produce an estimate for a
 // given test packet, mirroring the three outcomes of the paper's decode
-// comparison (§5–6).
+// comparison (§5–6). It is the second return of [Estimator.Estimate] and
+// decides how the engine scores the packet: decode it, count it as lost,
+// or leave it out entirely.
 type Availability int
 
 const (
@@ -25,6 +27,20 @@ const (
 	Skip
 )
 
+// String returns the outcome name.
+func (a Availability) String() string {
+	switch a {
+	case Available:
+		return "Available"
+	case Unavailable:
+		return "Unavailable"
+	case Skip:
+		return "Skip"
+	default:
+		return fmt.Sprintf("Availability(%d)", int(a))
+	}
+}
+
 // Estimator is one channel-estimation technique evaluated over a
 // combination's test set. Estimate is called for every packet in order,
 // including the warm-up window, so stateful estimators (Kalman) advance
@@ -38,15 +54,20 @@ type Estimator interface {
 	Estimate(k int, pkt *dataset.Packet) ([]complex128, Availability, error)
 }
 
-// Observer is implemented by estimators that absorb per-packet feedback
-// after the packet has been decoded — the Kalman filters update on the
-// perfect estimate of the just-received packet (paper appendix).
+// Observer is an optional refinement of [Estimator]: implementations
+// absorb per-packet feedback after the packet has been decoded — the
+// Kalman filters update on the perfect estimate of the just-received
+// packet (paper appendix). The engine calls Observe exactly once per test
+// packet, after Estimate, in packet order.
 type Observer interface {
 	Observe(k int, pkt *dataset.Packet) error
 }
 
-// MSEExempt is implemented by estimators whose output must not be scored
-// against the ground truth (the ground truth itself).
+// MSEExempt is an optional refinement of [Estimator]: implementations
+// returning true are excluded from MSE scoring against the ground truth.
+// The ground-truth technique itself is the canonical case (its error
+// against itself is zero by construction and would distort Fig. 14);
+// oracles added through [Register] usually want this too.
 type MSEExempt interface {
 	MSEExempt() bool
 }

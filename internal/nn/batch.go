@@ -1,0 +1,183 @@
+package nn
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ForwardBatch runs inference on a batch of inputs and returns one output
+// per input, bitwise identical to calling Forward on each input in order.
+//
+// Two mechanisms make it faster than a loop of Forward calls. First, the
+// weighted layers (Conv2D, Dense) traverse their parameter tensors once
+// per batch instead of once per sample, so a weight row loaded into cache
+// is applied to every queued sample before the next row is streamed in —
+// on memory-bound layers the saving approaches the batch size. Second,
+// large batches are split across runtime.GOMAXPROCS(0) goroutines.
+//
+// Unlike Forward, ForwardBatch writes no layer caches: it cannot be
+// followed by Backward, and concurrent ForwardBatch calls on the same
+// network are safe (weights are only read).
+func (n *Network) ForwardBatch(ins [][]float64) ([][]float64, error) {
+	for s, in := range ins {
+		if len(in) != n.In.Size() {
+			return nil, fmt.Errorf("nn: batch input %d size %d, want %d", s, len(in), n.In.Size())
+		}
+	}
+	if len(ins) == 0 {
+		return nil, nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(ins) {
+		workers = len(ins)
+	}
+	if workers <= 1 {
+		return n.forwardChunk(ins), nil
+	}
+	outs := make([][]float64, len(ins))
+	chunk := (len(ins) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for start := 0; start < len(ins); start += chunk {
+		end := min(start+chunk, len(ins))
+		wg.Add(1)
+		go func(start, end int) {
+			defer wg.Done()
+			copy(outs[start:end], n.forwardChunk(ins[start:end]))
+		}(start, end)
+	}
+	wg.Wait()
+	return outs, nil
+}
+
+// forwardChunk pushes a contiguous sub-batch through every layer.
+func (n *Network) forwardChunk(ins [][]float64) [][]float64 {
+	xs := ins
+	for _, l := range n.Layers {
+		xs = l.forwardBatch(xs)
+	}
+	return xs
+}
+
+// ---------- per-layer batch kernels ----------
+
+// Conv2D: the sample loop sits inside the weight-row loop, so each row of
+// the kernel tensor is loaded once per batch. Per-sample accumulation
+// order matches Forward exactly (y, x, ky, kx, ci, f).
+func (c *Conv2D) forwardBatch(ins [][]float64) [][]float64 {
+	oh, ow, oc := c.out.H, c.out.W, c.out.C
+	ic := c.in.C
+	iw := c.in.W
+	outs := make([][]float64, len(ins))
+	for s := range outs {
+		outs[s] = make([]float64, oh*ow*oc)
+	}
+	for y := 0; y < oh; y++ {
+		for x := 0; x < ow; x++ {
+			base := (y*ow + x) * oc
+			for s := range outs {
+				copy(outs[s][base:base+oc], c.b.W)
+			}
+			for ky := 0; ky < c.KH; ky++ {
+				for kx := 0; kx < c.KW; kx++ {
+					inBase := ((y+ky)*iw + x + kx) * ic
+					wBase := (ky*c.KW + kx) * ic * oc
+					for ci := 0; ci < ic; ci++ {
+						wRow := c.w.W[wBase+ci*oc : wBase+(ci+1)*oc]
+						for s, in := range ins {
+							iv := in[inBase+ci]
+							if iv == 0 {
+								continue
+							}
+							oRow := outs[s][base : base+oc]
+							for f, wv := range wRow {
+								oRow[f] += iv * wv
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return outs
+}
+
+// Dense: each weight row W[i·Units:(i+1)·Units] is streamed from memory
+// once per batch instead of once per sample — the whole point of batching
+// for a layer whose weight matrix dwarfs the activations.
+func (d *Dense) forwardBatch(ins [][]float64) [][]float64 {
+	outs := make([][]float64, len(ins))
+	for s := range outs {
+		outs[s] = make([]float64, d.Units)
+		copy(outs[s], d.b.W)
+	}
+	for i := 0; i < d.in.C; i++ {
+		row := d.w.W[i*d.Units : (i+1)*d.Units]
+		for s, in := range ins {
+			iv := in[i]
+			if iv == 0 {
+				continue
+			}
+			out := outs[s]
+			for j, wv := range row {
+				out[j] += iv * wv
+			}
+		}
+	}
+	return outs
+}
+
+func (r *ReLU) forwardBatch(ins [][]float64) [][]float64 {
+	outs := make([][]float64, len(ins))
+	for s, in := range ins {
+		out := make([]float64, len(in))
+		for i, v := range in {
+			if v > 0 {
+				out[i] = v
+			}
+		}
+		outs[s] = out
+	}
+	return outs
+}
+
+func (p *Pool2D) forwardBatch(ins [][]float64) [][]float64 {
+	oh, ow, c := p.out.H, p.out.W, p.out.C
+	iw := p.in.W
+	outs := make([][]float64, len(ins))
+	for s, in := range ins {
+		out := make([]float64, oh*ow*c)
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				for ch := 0; ch < c; ch++ {
+					i00 := ((2*y)*iw + 2*x) * c
+					i01 := i00 + c
+					i10 := ((2*y+1)*iw + 2*x) * c
+					i11 := i10 + c
+					v00, v01 := in[i00+ch], in[i01+ch]
+					v10, v11 := in[i10+ch], in[i11+ch]
+					o := (y*ow+x)*c + ch
+					if p.Kind == AvgPool {
+						out[o] = (v00 + v01 + v10 + v11) / 4
+						continue
+					}
+					best := v00
+					if v01 > best {
+						best = v01
+					}
+					if v10 > best {
+						best = v10
+					}
+					if v11 > best {
+						best = v11
+					}
+					out[o] = best
+				}
+			}
+		}
+		outs[s] = out
+	}
+	return outs
+}
+
+func (f *Flatten) forwardBatch(ins [][]float64) [][]float64 { return ins }

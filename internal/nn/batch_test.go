@@ -1,0 +1,116 @@
+package nn
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+)
+
+// batchTestNet builds a small network exercising every layer kind.
+func batchTestNet(t *testing.T) (*Network, Shape) {
+	t.Helper()
+	in := Shape{H: 12, W: 14, C: 2}
+	rng := rand.New(rand.NewPCG(21, 43))
+	net, err := NewNetwork(in, rng,
+		NewConv2D(3, 3, 4), NewReLU(), NewPool2D(AvgPool),
+		NewConv2D(3, 3, 6), NewReLU(), NewPool2D(MaxPool),
+		NewFlatten(), NewDense(10), NewReLU(), NewDense(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, in
+}
+
+func randBatch(rng *rand.Rand, n, size int) [][]float64 {
+	ins := make([][]float64, n)
+	for s := range ins {
+		x := make([]float64, size)
+		for i := range x {
+			// Mix in exact zeros to hit the sparsity fast paths.
+			if rng.IntN(5) == 0 {
+				continue
+			}
+			x[i] = rng.NormFloat64()
+		}
+		ins[s] = x
+	}
+	return ins
+}
+
+// TestForwardBatchMatchesForward pins the contract: batched inference is
+// bitwise identical to per-sample Forward, at every batch size.
+func TestForwardBatchMatchesForward(t *testing.T) {
+	net, in := batchTestNet(t)
+	rng := rand.New(rand.NewPCG(7, 9))
+	for _, batch := range []int{1, 2, 3, 8, 17} {
+		ins := randBatch(rng, batch, in.Size())
+		got, err := net.ForwardBatch(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != batch {
+			t.Fatalf("batch %d: got %d outputs", batch, len(got))
+		}
+		for s := range ins {
+			want, err := net.Forward(ins[s])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got[s]) != len(want) {
+				t.Fatalf("batch %d sample %d: output size %d, want %d", batch, s, len(got[s]), len(want))
+			}
+			for i := range want {
+				if got[s][i] != want[i] {
+					t.Fatalf("batch %d sample %d output %d: batched %v != sequential %v",
+						batch, s, i, got[s][i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestForwardBatchEmptyAndErrors(t *testing.T) {
+	net, in := batchTestNet(t)
+	if out, err := net.ForwardBatch(nil); err != nil || out != nil {
+		t.Fatalf("empty batch: got %v, %v", out, err)
+	}
+	if _, err := net.ForwardBatch([][]float64{make([]float64, in.Size()+1)}); err == nil {
+		t.Fatal("expected size-mismatch error")
+	}
+	if _, err := net.ForwardBatch([][]float64{make([]float64, in.Size()), nil}); err == nil {
+		t.Fatal("expected size-mismatch error for nil sample")
+	}
+}
+
+// TestForwardBatchConcurrent verifies ForwardBatch is safe to call from
+// multiple goroutines on one network instance (run under -race in CI).
+func TestForwardBatchConcurrent(t *testing.T) {
+	net, in := batchTestNet(t)
+	rng := rand.New(rand.NewPCG(3, 5))
+	ins := randBatch(rng, 6, in.Size())
+	want, err := net.ForwardBatch(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := net.ForwardBatch(ins)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for s := range want {
+				for i := range want[s] {
+					if got[s][i] != want[s][i] {
+						t.Errorf("concurrent ForwardBatch diverged at sample %d output %d", s, i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// NewHandler exposes a Service over HTTP/JSON (stdlib only):
+//
+//	POST   /estimate   {"link":"a","image":[...]}  submit a frame, wait for
+//	                   its (or a newer) estimate and return it
+//	GET    /estimate?link=a                        freshest estimate for a link
+//	GET    /links                                  per-session statistics
+//	DELETE /links?id=a                             close a session
+//	GET    /metricsz                               service counters
+//
+// Link sessions are opened on first use (429 once Config.MaxLinks is
+// reached — set it on Internet-facing services). CIRs travel as
+// [[re,im], ...] pairs and durations as milliseconds.
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /estimate", func(w http.ResponseWriter, r *http.Request) {
+		// Bound the body before decoding: an anonymous POST must not be
+		// able to make the server buffer an arbitrarily long image array.
+		// ~32 bytes per JSON-encoded pixel is generous.
+		maxBody := int64(4 << 20)
+		if s.cfg.InputSize > 0 {
+			maxBody = int64(s.cfg.InputSize)*32 + 4096
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+		var req estimateRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+				return
+			}
+			httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+			return
+		}
+		if req.Link == "" {
+			httpError(w, http.StatusBadRequest, "missing link id")
+			return
+		}
+		link, err := s.Link(req.Link)
+		if err != nil {
+			httpError(w, http.StatusTooManyRequests, "%v", err)
+			return
+		}
+		if len(req.Image) == 0 {
+			serveLatest(w, s, link)
+			return
+		}
+		seq, dropped, err := s.Submit(req.Image)
+		if err != nil {
+			// A closed service is a server-side condition (estimator
+			// failure or shutdown), not a malformed request.
+			if errors.Is(err, ErrClosed) {
+				httpError(w, http.StatusServiceUnavailable, "%v", err)
+			} else {
+				httpError(w, http.StatusBadRequest, "%v", err)
+			}
+			return
+		}
+		wait := 2 * time.Second
+		if req.WaitMS > 0 {
+			wait = time.Duration(req.WaitMS) * time.Millisecond
+		}
+		if _, ok := s.WaitFor(seq, wait); !ok {
+			httpError(w, http.StatusGatewayTimeout, "estimate for frame %d not ready after %v", seq, wait)
+			return
+		}
+		e, ok := link.Latest()
+		if !ok {
+			httpError(w, http.StatusServiceUnavailable, "no estimate published")
+			return
+		}
+		writeJSON(w, estimateResponse{
+			Link: link.ID(), FrameSeq: e.FrameSeq, SubmittedSeq: seq, DroppedOldest: dropped,
+			CIR: cirPairs(e.CIR), AgeMS: ms(e.AgeAt(s.clock())), InferenceMS: ms(e.Inference), Batch: e.Batch,
+		})
+	})
+	mux.HandleFunc("GET /estimate", func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Query().Get("link")
+		if id == "" {
+			httpError(w, http.StatusBadRequest, "missing ?link=")
+			return
+		}
+		link, err := s.Link(id)
+		if err != nil {
+			httpError(w, http.StatusTooManyRequests, "%v", err)
+			return
+		}
+		serveLatest(w, s, link)
+	})
+	mux.HandleFunc("DELETE /links", func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Query().Get("id")
+		if id == "" {
+			httpError(w, http.StatusBadRequest, "missing ?id=")
+			return
+		}
+		if !s.CloseLink(id) {
+			httpError(w, http.StatusNotFound, "link %q not open", id)
+			return
+		}
+		writeJSON(w, map[string]string{"closed": id})
+	})
+	mux.HandleFunc("GET /links", func(w http.ResponseWriter, r *http.Request) {
+		stats := s.Links()
+		out := make([]linkJSON, len(stats))
+		for i, st := range stats {
+			out[i] = linkJSON{
+				ID: st.ID, Served: st.Served, Dropped: st.Dropped, Pending: st.Pending,
+				LastAgeMS: ms(st.LastAge), MeanAgeMS: ms(st.MeanAge), MaxAgeMS: ms(st.MaxAge),
+				OpenedAt: st.OpenedAt,
+			}
+		}
+		writeJSON(w, map[string]any{"links": out})
+	})
+	mux.HandleFunc("GET /metricsz", func(w http.ResponseWriter, r *http.Request) {
+		m := s.Metrics()
+		writeJSON(w, metricsJSON{
+			FramesSubmitted: m.FramesSubmitted, FramesDropped: m.FramesDropped,
+			FramesInferred: m.FramesInferred, Batches: m.Batches, MeanBatch: m.MeanBatch,
+			InferMeanMS: ms(m.InferMean), InferFrameMeanMS: ms(m.InferMeanFrame),
+			InferMaxMS: ms(m.InferMax), LastSeq: m.LastSeq,
+			QueueLen: m.QueueLen, QueueCap: m.QueueCap, ActiveLinks: m.ActiveLinks,
+			EstimatesServed: m.EstimatesServed, Err: m.Err,
+		})
+	})
+	return mux
+}
+
+type estimateRequest struct {
+	Link   string    `json:"link"`
+	Image  []float32 `json:"image,omitempty"`
+	WaitMS int       `json:"wait_ms,omitempty"`
+}
+
+type estimateResponse struct {
+	Link          string       `json:"link"`
+	FrameSeq      uint64       `json:"frame_seq"`
+	SubmittedSeq  uint64       `json:"submitted_seq,omitempty"`
+	DroppedOldest bool         `json:"dropped_oldest,omitempty"`
+	CIR           [][2]float64 `json:"cir"`
+	AgeMS         float64      `json:"age_ms"`
+	InferenceMS   float64      `json:"inference_ms"`
+	Batch         int          `json:"batch"`
+}
+
+type linkJSON struct {
+	ID        string    `json:"id"`
+	Served    uint64    `json:"served"`
+	Dropped   uint64    `json:"dropped"`
+	Pending   int       `json:"pending"`
+	LastAgeMS float64   `json:"last_age_ms"`
+	MeanAgeMS float64   `json:"mean_age_ms"`
+	MaxAgeMS  float64   `json:"max_age_ms"`
+	OpenedAt  time.Time `json:"opened_at"`
+}
+
+type metricsJSON struct {
+	FramesSubmitted  uint64  `json:"frames_submitted"`
+	FramesDropped    uint64  `json:"frames_dropped"`
+	FramesInferred   uint64  `json:"frames_inferred"`
+	Batches          uint64  `json:"batches"`
+	MeanBatch        float64 `json:"mean_batch"`
+	InferMeanMS      float64 `json:"infer_mean_ms"`       // per EstimateBatch call
+	InferFrameMeanMS float64 `json:"infer_frame_mean_ms"` // per inferred frame
+	InferMaxMS       float64 `json:"infer_max_ms"`
+	LastSeq          uint64  `json:"last_seq"`
+	QueueLen         int     `json:"queue_len"`
+	QueueCap         int     `json:"queue_cap"`
+	ActiveLinks      int     `json:"active_links"`
+	EstimatesServed  uint64  `json:"estimates_served"`
+	Err              string  `json:"err,omitempty"`
+}
+
+func serveLatest(w http.ResponseWriter, s *Service, link *Link) {
+	e, ok := link.Latest()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no estimate published yet")
+		return
+	}
+	writeJSON(w, estimateResponse{
+		Link: link.ID(), FrameSeq: e.FrameSeq, CIR: cirPairs(e.CIR),
+		AgeMS: ms(e.AgeAt(s.clock())), InferenceMS: ms(e.Inference), Batch: e.Batch,
+	})
+}
+
+func cirPairs(cir []complex128) [][2]float64 {
+	out := make([][2]float64, len(cir))
+	for i, c := range cir {
+		out[i] = [2]float64{real(c), imag(c)}
+	}
+	return out
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

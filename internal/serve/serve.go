@@ -1,0 +1,399 @@
+// Package serve turns a trained VVD model into a long-running estimation
+// service: one depth-frame stream in, fresh channel estimates out to any
+// number of concurrent link sessions.
+//
+// The paper's scalability argument (§6.6, Table 1) is that camera-based
+// estimation costs one CNN inference per frame *no matter how many links
+// it serves* — the estimate describes the environment, not a transmitter.
+// This package is that argument as infrastructure:
+//
+//   - Frames enter a bounded queue via Submit. When the estimator falls
+//     behind, the queue drops its oldest frame (drop-oldest backpressure):
+//     a stale depth frame is worthless once a fresher one exists.
+//   - A single estimator goroutine drains the queue in batches of up to
+//     MaxBatch frames and runs one batched CNN inference per drain
+//     (core.VVD.EstimateBatch), amortizing the layer-weight traversal
+//     across everything that queued up during the previous inference.
+//   - Every produced estimate is published freshest-wins: Latest always
+//     returns the estimate of the newest inferred frame, stamped with its
+//     capture time so consumers can judge its age against the channel
+//     coherence time (~50 ms indoors).
+//   - Link sessions (OpenLink) are per-receiver views: each records how
+//     many estimates it was served and how old they were, and each owns a
+//     bounded estimate inbox (again drop-oldest) for consumers that want
+//     the estimate stream rather than just the freshest value. Inboxes
+//     start filling on the session's first Next call, so poll-only
+//     sessions cost the publish fan-out almost nothing.
+//
+// cmd/vvd-serve exposes a Service over HTTP/JSON; examples/streaming
+// drives one from a simulated camera in real time.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrClosed is returned by Submit once the service has stopped —
+// explicitly via Close, or because the estimator failed (see Err).
+var ErrClosed = errors.New("serve: service closed")
+
+// BatchEstimator is the inference dependency of a Service: one batched
+// image→CIR estimation. *core.VVD implements it; tests substitute stubs.
+type BatchEstimator interface {
+	EstimateBatch(imgs [][]float32) ([][]complex128, error)
+}
+
+// Config parameterizes a Service.
+type Config struct {
+	// Estimator runs the batched CNN inference. Required.
+	Estimator BatchEstimator
+	// InputSize, when non-zero, lets Submit reject frames of the wrong
+	// pixel count up front (use model.Net.In.Size()).
+	InputSize int
+	// QueueDepth bounds the frame queue; a full queue drops its oldest
+	// frame on the next Submit. Default 8.
+	QueueDepth int
+	// MaxBatch caps the frames handed to one EstimateBatch call.
+	// Default 8.
+	MaxBatch int
+	// LinkBuffer bounds each link session's estimate inbox; a full inbox
+	// drops its oldest estimate. Default 4.
+	LinkBuffer int
+	// MaxLinks, when non-zero, caps the number of open link sessions —
+	// the guard that keeps unauthenticated GET /estimate?link=<random>
+	// traffic from growing the session map (and the publish fan-out)
+	// without bound. 0 = unlimited.
+	MaxLinks int
+	// Clock substitutes a time source (tests). Default time.Now.
+	Clock func() time.Time
+}
+
+// Frame is one queued depth frame.
+type Frame struct {
+	Seq        uint64 // 1-based submission sequence number
+	Image      []float32
+	CapturedAt time.Time
+}
+
+// Estimate is one published channel estimate.
+type Estimate struct {
+	CIR         []complex128
+	FrameSeq    uint64        // frame the estimate was inferred from
+	CapturedAt  time.Time     // when that frame was captured
+	PublishedAt time.Time     // when the estimate became visible
+	Inference   time.Duration // latency of the batch that produced it
+	Batch       int           // number of frames in that batch
+}
+
+// AgeAt returns how old the underlying channel observation is at the
+// given instant — the quantity the paper compares to the coherence time.
+func (e Estimate) AgeAt(now time.Time) time.Duration { return now.Sub(e.CapturedAt) }
+
+// Metrics is a point-in-time snapshot of service counters.
+type Metrics struct {
+	FramesSubmitted uint64
+	FramesDropped   uint64 // evicted by drop-oldest before inference
+	FramesInferred  uint64
+	Batches         uint64
+	MeanBatch       float64       // frames per EstimateBatch call
+	InferMean       time.Duration // mean latency of one EstimateBatch call
+	InferMeanFrame  time.Duration // mean inference cost per frame (batch latency / batch size)
+	InferMax        time.Duration // worst single EstimateBatch latency
+	LastSeq         uint64        // newest published frame sequence (0 = none)
+	QueueLen        int
+	QueueCap        int
+	ActiveLinks     int
+	EstimatesServed uint64 // Latest/Next reads across all sessions, ever
+	Err             string // first estimator error, if any
+}
+
+// Service is the multi-link estimation pipeline. Create with New, feed
+// with Submit, read through Latest or link sessions, stop with Close.
+// All methods are safe for concurrent use.
+type Service struct {
+	cfg   Config
+	clock func() time.Time
+
+	mu        sync.Mutex // frame queue + submission counters
+	cond      *sync.Cond
+	queue     []Frame
+	nextSeq   uint64
+	submitted uint64
+	dropped   uint64
+	closed    bool
+
+	state       sync.RWMutex // published estimate, links, inference counters
+	latest      Estimate
+	links       map[string]*Link
+	inferred    uint64
+	batches     uint64
+	batchFrames uint64
+	inferTotal  time.Duration
+	inferMax    time.Duration
+	err         error
+
+	served atomic.Uint64 // Latest/Next reads across all sessions
+
+	pubMu   sync.Mutex // publish broadcast for WaitFor
+	pubCh   chan struct{}
+	lastPub uint64
+
+	done chan struct{}
+}
+
+// New starts a Service; the estimator goroutine runs until Close.
+func New(cfg Config) (*Service, error) {
+	if cfg.Estimator == nil {
+		return nil, errors.New("serve: Config.Estimator is required")
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 8
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 8
+	}
+	if cfg.LinkBuffer <= 0 {
+		cfg.LinkBuffer = 4
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	s := &Service{
+		cfg:   cfg,
+		clock: cfg.Clock,
+		links: map[string]*Link{},
+		pubCh: make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	go s.run()
+	return s, nil
+}
+
+// Submit enqueues a frame captured now. See SubmitAt.
+func (s *Service) Submit(img []float32) (seq uint64, droppedOldest bool, err error) {
+	return s.SubmitAt(img, s.clock())
+}
+
+// SubmitAt enqueues a frame with an explicit capture time and returns its
+// sequence number. If the queue is full the oldest queued frame is
+// evicted (droppedOldest reports that) — the newest observation always
+// gets in. Submitting to a closed service returns an error.
+func (s *Service) SubmitAt(img []float32, capturedAt time.Time) (seq uint64, droppedOldest bool, err error) {
+	if s.cfg.InputSize > 0 && len(img) != s.cfg.InputSize {
+		return 0, false, fmt.Errorf("serve: frame has %d pixels, want %d", len(img), s.cfg.InputSize)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, false, ErrClosed
+	}
+	s.nextSeq++
+	seq = s.nextSeq
+	if len(s.queue) >= s.cfg.QueueDepth {
+		s.queue = append(s.queue[:0], s.queue[1:]...)
+		s.dropped++
+		droppedOldest = true
+	}
+	s.queue = append(s.queue, Frame{Seq: seq, Image: img, CapturedAt: capturedAt})
+	s.submitted++
+	s.cond.Signal()
+	return seq, droppedOldest, nil
+}
+
+// Latest returns the freshest published estimate (ok=false before the
+// first publish). Reads through a Link session instead to record serving
+// statistics.
+func (s *Service) Latest() (Estimate, bool) {
+	s.state.RLock()
+	defer s.state.RUnlock()
+	return s.latest, s.latest.FrameSeq != 0
+}
+
+// WaitFor blocks until an estimate for frame sequence seq or newer has
+// been published, then returns the freshest estimate. ok=false on
+// timeout or when the service stops before reaching seq (a frame evicted
+// by drop-oldest is never inferred, but a later frame satisfies the wait).
+func (s *Service) WaitFor(seq uint64, timeout time.Duration) (Estimate, bool) {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		s.pubMu.Lock()
+		last, ch := s.lastPub, s.pubCh
+		s.pubMu.Unlock()
+		if last >= seq {
+			return s.Latest()
+		}
+		select {
+		case <-ch:
+		case <-s.done:
+			// Drained and stopped without reaching seq.
+			s.pubMu.Lock()
+			last = s.lastPub
+			s.pubMu.Unlock()
+			if last >= seq {
+				return s.Latest()
+			}
+			return Estimate{}, false
+		case <-deadline.C:
+			return Estimate{}, false
+		}
+	}
+}
+
+// Err returns the first estimator error, if any.
+func (s *Service) Err() error {
+	s.state.RLock()
+	defer s.state.RUnlock()
+	return s.err
+}
+
+// Metrics returns a consistent snapshot of the service counters: both
+// counter groups are read under their locks simultaneously (queue lock,
+// then state lock — no other path holds both), so the snapshot can never
+// show more frames inferred than were submitted.
+func (s *Service) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := Metrics{
+		FramesSubmitted: s.submitted,
+		FramesDropped:   s.dropped,
+		QueueLen:        len(s.queue),
+		QueueCap:        s.cfg.QueueDepth,
+	}
+	s.state.RLock()
+	m.FramesInferred = s.inferred
+	m.Batches = s.batches
+	if s.batches > 0 {
+		m.MeanBatch = float64(s.batchFrames) / float64(s.batches)
+		m.InferMean = s.inferTotal / time.Duration(s.batches)
+	}
+	if s.inferred > 0 {
+		m.InferMeanFrame = s.inferTotal / time.Duration(s.inferred)
+	}
+	m.InferMax = s.inferMax
+	m.LastSeq = s.latest.FrameSeq
+	m.ActiveLinks = len(s.links)
+	m.EstimatesServed = s.served.Load()
+	if s.err != nil {
+		m.Err = s.err.Error()
+	}
+	s.state.RUnlock()
+	return m
+}
+
+// Close stops accepting frames, lets the estimator drain what is already
+// queued, waits for it to exit and returns the first estimator error.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+	<-s.done
+	return s.Err()
+}
+
+// run is the estimator goroutine: drain a batch, infer, publish, repeat.
+func (s *Service) run() {
+	defer close(s.done)
+	for {
+		frames := s.take()
+		if frames == nil {
+			return
+		}
+		imgs := make([][]float32, len(frames))
+		for i := range frames {
+			imgs[i] = frames[i].Image
+		}
+		t0 := s.clock()
+		cirs, err := s.cfg.Estimator.EstimateBatch(imgs)
+		lat := s.clock().Sub(t0)
+		if err == nil && len(cirs) != len(frames) {
+			err = fmt.Errorf("serve: estimator returned %d estimates for %d frames", len(cirs), len(frames))
+		}
+		if err != nil {
+			s.state.Lock()
+			if s.err == nil {
+				s.err = err
+			}
+			s.state.Unlock()
+			s.mu.Lock()
+			s.closed = true
+			s.queue = nil
+			s.mu.Unlock()
+			return
+		}
+		s.publish(frames, cirs, lat)
+	}
+}
+
+// take blocks until at least one frame is queued (or the service closed
+// and drained) and removes up to MaxBatch oldest frames.
+func (s *Service) take() []Frame {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if len(s.queue) == 0 {
+		return nil
+	}
+	n := min(len(s.queue), s.cfg.MaxBatch)
+	frames := make([]Frame, n)
+	copy(frames, s.queue[:n])
+	s.queue = append(s.queue[:0], s.queue[n:]...)
+	return frames
+}
+
+// publish makes a batch's estimates visible (the batch's newest frame
+// becomes Latest) and fans them out to link inboxes in frame order. The
+// state write lock covers only the counter/latest update and a snapshot
+// of the session list; the O(links × frames) inbox fan-out runs outside
+// it (only the per-link mutexes), so Latest reads never stall behind it.
+// Publish order across batches is preserved because run() is the only
+// publisher.
+func (s *Service) publish(frames []Frame, cirs [][]complex128, lat time.Duration) {
+	now := s.clock()
+	ests := make([]Estimate, len(frames))
+	for i, f := range frames {
+		ests[i] = Estimate{
+			CIR:         cirs[i],
+			FrameSeq:    f.Seq,
+			CapturedAt:  f.CapturedAt,
+			PublishedAt: now,
+			Inference:   lat,
+			Batch:       len(frames),
+		}
+	}
+	s.state.Lock()
+	s.latest = ests[len(ests)-1]
+	s.inferred += uint64(len(frames))
+	s.batches++
+	s.batchFrames += uint64(len(frames))
+	s.inferTotal += lat
+	if lat > s.inferMax {
+		s.inferMax = lat
+	}
+	links := make([]*Link, 0, len(s.links))
+	for _, l := range s.links {
+		links = append(links, l)
+	}
+	s.state.Unlock()
+	for _, e := range ests {
+		for _, l := range links {
+			l.offer(e)
+		}
+	}
+
+	s.pubMu.Lock()
+	s.lastPub = frames[len(frames)-1].Seq
+	close(s.pubCh)
+	s.pubCh = make(chan struct{})
+	s.pubMu.Unlock()
+}
