@@ -1,13 +1,16 @@
 // Command vvd-dataset generates a simulated measurement campaign (the
 // repository's equivalent of the paper's published wireless trace + depth
-// images) and writes it to disk.
+// images) and writes it to disk in the versioned v2 campaign store, or
+// inspects an existing campaign file without decoding its packets.
 //
 // Usage:
 //
 //	vvd-dataset -out campaign.bin -sets 15 -packets 120 -psdu 127
+//	vvd-dataset -inspect campaign.bin
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +21,7 @@ import (
 func main() {
 	var (
 		out      = flag.String("out", "campaign.bin", "output file")
+		inspect  = flag.String("inspect", "", "inspect an existing campaign file (header, config, per-set checksums) and exit")
 		sets     = flag.Int("sets", 15, "number of measurement sets (takes)")
 		packets  = flag.Int("packets", 120, "packets per set (paper: ~1500)")
 		psdu     = flag.Int("psdu", 127, "PSDU length in bytes")
@@ -27,6 +31,13 @@ func main() {
 		snr      = flag.Float64("snr", 0, "override clear-channel SNR in dB (0 = default)")
 	)
 	flag.Parse()
+
+	if *inspect != "" {
+		if err := inspectCampaign(*inspect); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	cfg := dataset.DefaultConfig()
 	cfg.Sets = *sets
@@ -50,11 +61,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
 	if err := c.Save(f); err != nil {
+		f.Close()
 		fatal(err)
 	}
-	info, err := f.Stat()
+	// Close explicitly and check the error: a deferred close is skipped by
+	// fatal's os.Exit, and an unchecked one turns a full disk into a
+	// silently truncated campaign.
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	info, err := os.Stat(*out)
 	if err != nil {
 		fatal(err)
 	}
@@ -69,6 +86,53 @@ func main() {
 	}
 	fmt.Printf("wrote %s (%.1f MiB): %d packets, %.1f%% preambles detected\n",
 		*out, float64(info.Size())/(1<<20), total, 100*float64(detected)/float64(total))
+}
+
+// inspectCampaign prints a campaign file's header, configuration and
+// per-set checksum status. For v2 files no packet is decoded: set payloads
+// are only streamed through the CRC.
+func inspectCampaign(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := dataset.OpenCampaign(f)
+	if err != nil {
+		return err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: campaign store v%d, %.1f MiB, %d sets\n",
+		path, r.Version(), float64(info.Size())/(1<<20), r.NumSets())
+	cfgJSON, err := json.MarshalIndent(r.Config(), "  ", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  config: %s\n", cfgJSON)
+	infos, err := r.Inspect()
+	if err != nil {
+		return err
+	}
+	bad := 0
+	for _, si := range infos {
+		status := "no checksum (v1)"
+		if si.Checksummed {
+			status = "crc ok"
+			if !si.CRCOK {
+				status = "CRC MISMATCH"
+				bad++
+			}
+		}
+		fmt.Printf("  set %2d: %6d packets, %10d payload bytes, %s\n",
+			si.Index, si.Packets, si.PayloadBytes, status)
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d sets failed checksum verification", bad, len(infos))
+	}
+	return nil
 }
 
 func fatal(err error) {

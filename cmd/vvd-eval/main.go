@@ -6,6 +6,7 @@
 //	vvd-eval -figures all                 # scaled defaults
 //	vvd-eval -figures 12,16 -sets 8 -packets 150 -combos 5
 //	vvd-eval -figures 12 -workers 8       # parallel evaluation fan-out
+//	vvd-eval -campaign campaign.bin       # stream a stored campaign instead of generating
 //	vvd-eval -paper                       # full-scale (hours)
 package main
 
@@ -16,20 +17,22 @@ import (
 	"strings"
 	"time"
 
+	"vvd/internal/dataset"
 	"vvd/internal/experiments"
 )
 
 func main() {
 	var (
-		figures = flag.String("figures", "all", "comma list: table1,table2,5,11,12,15,aging,ablations")
-		sets    = flag.Int("sets", 0, "override campaign sets")
-		packets = flag.Int("packets", 0, "override packets per set")
-		psdu    = flag.Int("psdu", 0, "override PSDU bytes")
-		combos  = flag.Int("combos", 0, "override combinations evaluated")
-		epochs  = flag.Int("epochs", 0, "override VVD training epochs")
-		paper   = flag.Bool("paper", false, "full paper-scale parameters (very slow)")
-		seed    = flag.Uint64("seed", 0, "override campaign seed")
-		workers = flag.Int("workers", 0, "parallel (combination × technique) evaluation tasks (0 = GOMAXPROCS, 1 = sequential)")
+		figures  = flag.String("figures", "all", "comma list: table1,table2,5,11,12,15,aging,ablations")
+		campaign = flag.String("campaign", "", "evaluate a stored campaign file (vvd-dataset) instead of generating one; only the sets the selected combinations need are decoded")
+		sets     = flag.Int("sets", 0, "override campaign sets")
+		packets  = flag.Int("packets", 0, "override packets per set")
+		psdu     = flag.Int("psdu", 0, "override PSDU bytes")
+		combos   = flag.Int("combos", 0, "override combinations evaluated")
+		epochs   = flag.Int("epochs", 0, "override VVD training epochs")
+		paper    = flag.Bool("paper", false, "full paper-scale parameters (very slow)")
+		seed     = flag.Uint64("seed", 0, "override campaign seed")
+		workers  = flag.Int("workers", 0, "parallel (combination × technique) evaluation tasks (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -74,10 +77,18 @@ func main() {
 		want["aging"] || want["16"] || want["17"] || want["ablations"]
 	if needEngine {
 		start := time.Now()
-		fmt.Printf("generating campaign (%d sets x %d packets, PSDU %d)...\n",
-			p.Campaign.Sets, p.Campaign.PacketsPerSet, p.Campaign.PSDULen)
 		var err error
-		e, err = experiments.NewEngine(p)
+		if *campaign != "" {
+			if *sets > 0 || *packets > 0 || *psdu > 0 || *seed > 0 {
+				fmt.Fprintln(os.Stderr, "vvd-eval: note: -sets/-packets/-psdu/-seed describe campaign generation and are ignored with -campaign (the file's stored config wins)")
+			}
+			fmt.Printf("loading campaign %s...\n", *campaign)
+			e, err = engineFromFile(*campaign, p)
+		} else {
+			fmt.Printf("generating campaign (%d sets x %d packets, PSDU %d)...\n",
+				p.Campaign.Sets, p.Campaign.PacketsPerSet, p.Campaign.PSDULen)
+			e, err = experiments.NewEngine(p)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -127,6 +138,22 @@ func main() {
 	if all || want["ablations"] {
 		runAblations(e)
 	}
+}
+
+// engineFromFile streams a stored campaign into an engine: the reader
+// resolves the evaluated combinations from the header's set count and
+// decodes only the sets they reference.
+func engineFromFile(path string, p experiments.Params) (*experiments.Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := dataset.OpenCampaign(f)
+	if err != nil {
+		return nil, err
+	}
+	return experiments.NewEngineFromReader(r, p)
 }
 
 type renderer interface{ Render() string }

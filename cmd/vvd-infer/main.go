@@ -41,12 +41,22 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	campaign, err := dataset.LoadCampaign(cf)
-	cf.Close()
+	// Stream the campaign: only the requested set is decoded (earlier sets
+	// are skipped by their payload length), so peak memory is one set
+	// regardless of campaign size. Receptions regenerate against the
+	// environment shell rebuilt from the stored config.
+	cr, err := dataset.OpenCampaign(cf)
 	if err != nil {
+		cf.Close()
 		fatal(err)
 	}
-	set, err := campaign.Set(*setID)
+	campaign, err := cr.Shell()
+	if err != nil {
+		cf.Close()
+		fatal(err)
+	}
+	set, err := cr.ReadSet(*setID)
+	cf.Close()
 	if err != nil {
 		fatal(err)
 	}
@@ -68,7 +78,7 @@ func main() {
 		}
 		counter.AddMSE(metrics.SqError(estimate.AlignPhase(h, pkt.Perfect), pkt.Perfect), len(pkt.Perfect))
 		if *decode {
-			ppdu, _, txChips, rec, err := campaign.Reception(*setID, pkt.Index)
+			ppdu, _, txChips, rec, err := campaign.ReceptionPacket(pkt)
 			if err != nil {
 				fatal(err)
 			}

@@ -46,14 +46,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	c, err := dataset.LoadCampaign(f)
-	f.Close()
+	r, err := dataset.OpenCampaign(f)
 	if err != nil {
+		f.Close()
 		fatal(err)
 	}
 
+	// Resolve the combination from the header alone, then stream in only
+	// its training and validation sets — the test set (and any other) is
+	// skipped without decoding.
 	var cb *dataset.Combination
-	for _, candidate := range dataset.CombinationsFor(len(c.Sets), 0) {
+	for _, candidate := range dataset.CombinationsFor(r.NumSets(), 0) {
 		if candidate.Number == *combo {
 			cbCopy := candidate
 			cb = &cbCopy
@@ -61,7 +64,17 @@ func main() {
 		}
 	}
 	if cb == nil {
-		fatal(fmt.Errorf("combination %d not available for a %d-set campaign", *combo, len(c.Sets)))
+		f.Close()
+		fatal(fmt.Errorf("combination %d not available for a %d-set campaign", *combo, r.NumSets()))
+	}
+	need := map[int]bool{cb.Val: true}
+	for _, id := range cb.Training {
+		need[id] = true
+	}
+	c, err := r.ReadSets(func(id int) bool { return need[id] })
+	f.Close()
+	if err != nil {
+		fatal(err)
 	}
 
 	cfg := core.TrainConfig{
@@ -91,8 +104,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	defer of.Close()
 	if err := v.Save(of); err != nil {
+		of.Close()
+		fatal(err)
+	}
+	// Close explicitly and check the error: a deferred close is skipped by
+	// fatal's os.Exit, and an unchecked one turns a full disk into a
+	// silently truncated model.
+	if err := of.Close(); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s (%d parameters, norm %.3e)\n", *out, v.Net.NumParams(), v.Norm)

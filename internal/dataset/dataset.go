@@ -117,12 +117,14 @@ type Campaign struct {
 // ImagePixels is the flattened size of one preprocessed depth image.
 const ImagePixels = camera.CropRows * camera.CropCols
 
-// Generate builds a campaign. Each set uses an independent random-waypoint
-// trajectory; the packet↔frame pairing follows the LED synchronization.
-func Generate(cfg Config) (*Campaign, error) {
-	if cfg.Sets <= 0 || cfg.PacketsPerSet <= 0 {
-		return nil, fmt.Errorf("dataset: need positive sets/packets, got %d/%d", cfg.Sets, cfg.PacketsPerSet)
-	}
+// NewShell builds the simulation environment of a campaign — room,
+// geometry, channel model, receiver, camera and reference CIR — exactly as
+// Generate does, but with no measurement sets. Every configuration field
+// that shapes the environment (notably HumanScatterGain) is honored, so a
+// shell plus stored packets regenerates receptions bit-identically to the
+// campaign that produced them. The campaign store uses it to rebuild
+// loaded campaigns.
+func NewShell(cfg Config) (*Campaign, error) {
 	if cfg.PSDULen < 4 || cfg.PSDULen > phy.MaxPSDU {
 		return nil, fmt.Errorf("dataset: PSDU length %d outside [4,%d]", cfg.PSDULen, phy.MaxPSDU)
 	}
@@ -132,19 +134,29 @@ func Generate(cfg Config) (*Campaign, error) {
 		g.HumanScatterGain = cfg.HumanScatterGain
 	}
 	model := channel.NewModel(g, phy.SampleRate)
-	rx := estimate.NewReceiver(estimate.DefaultConfig())
-	cam := camera.New(lab, 90)
-	sync := camera.NewSynchronizer()
-
-	c := &Campaign{
+	return &Campaign{
 		Cfg:      cfg,
 		Room:     lab,
 		Geometry: g,
 		Model:    model,
-		Receiver: rx,
-		Camera:   cam,
+		Receiver: estimate.NewReceiver(estimate.DefaultConfig()),
+		Camera:   camera.New(lab, 90),
 		RefCIR:   model.ProjectPaths(g.PathsClear()),
+	}, nil
+}
+
+// Generate builds a campaign. Each set uses an independent random-waypoint
+// trajectory; the packet↔frame pairing follows the LED synchronization.
+func Generate(cfg Config) (*Campaign, error) {
+	if cfg.Sets <= 0 || cfg.PacketsPerSet <= 0 {
+		return nil, fmt.Errorf("dataset: need positive sets/packets, got %d/%d", cfg.Sets, cfg.PacketsPerSet)
 	}
+	c, err := NewShell(cfg)
+	if err != nil {
+		return nil, err
+	}
+	lab, model, cam, rx := c.Room, c.Model, c.Camera, c.Receiver
+	sync := camera.NewSynchronizer()
 
 	mod := phy.NewModulator()
 	for s := 0; s < cfg.Sets; s++ {
@@ -264,7 +276,13 @@ func (c *Campaign) Reception(setIdx1Based, pktIdx int) (*phy.PPDU, []complex128,
 	if pktIdx < 0 || pktIdx >= len(set.Packets) {
 		return nil, nil, nil, nil, fmt.Errorf("dataset: packet %d out of range", pktIdx)
 	}
-	pkt := set.Packets[pktIdx]
+	return c.ReceptionPacket(&set.Packets[pktIdx])
+}
+
+// ReceptionPacket regenerates the bit-exact link realization of a packet
+// that need not live in c.Sets — the streaming path hands packets of one
+// decoded set to a campaign shell without materializing the others.
+func (c *Campaign) ReceptionPacket(pkt *Packet) (*phy.PPDU, []complex128, []byte, *channel.Reception, error) {
 	mod := phy.NewModulator()
 	ppdu, txWave, txChips, err := BuildTx(mod, pkt.SeqNum, c.Cfg.PSDULen)
 	if err != nil {

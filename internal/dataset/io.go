@@ -1,3 +1,14 @@
+// Campaign persistence. The current on-disk format is v2 (stream.go): a
+// versioned, checksummed, streaming store whose header carries the complete
+// Config. The original unversioned v1 format remains readable through the
+// magic switch below; saveV1/loadCampaignV1 in this file are the frozen v1
+// codec, kept for the committed golden fixture and old campaign files.
+//
+// Compatibility policy: Save always writes the newest format; LoadCampaign
+// reads every format ever shipped. v1 predates the HumanScatterGain config
+// field, so v1 files of nonzero-scatter-gain campaigns cannot be rebuilt
+// faithfully — v2 serializes the complete Config by construction.
+
 package dataset
 
 import (
@@ -11,18 +22,61 @@ import (
 	"vvd/internal/room"
 )
 
-// campaignMagic identifies the on-disk campaign format ("VVDC" + version).
-const campaignMagic = 0x56564443
+// campaignMagicV1 identifies the legacy v1 campaign format ("VVDC",
+// unversioned, no checksums, whole-campaign decode only).
+const campaignMagicV1 = 0x56564443
 
-// Save writes the campaign (configuration, per-packet estimates and depth
-// images) in a compact little-endian binary format — the repository's
-// equivalent of the paper's published trace.
+// Save writes the campaign in the current (v2) on-disk format — the
+// repository's equivalent of the paper's published trace. See stream.go
+// for the layout and NewWriter for set-at-a-time streaming writes.
 func (c *Campaign) Save(w io.Writer) error {
+	sw, err := NewWriter(w, c.Cfg, len(c.Sets))
+	if err != nil {
+		return err
+	}
+	for i := range c.Sets {
+		if err := sw.WriteSet(&c.Sets[i]); err != nil {
+			return err
+		}
+	}
+	return sw.Close()
+}
+
+// LoadCampaign reads a campaign written by any Save version, rebuilding the
+// simulation objects from the stored configuration. It materializes every
+// set; use OpenCampaign to stream set-at-a-time instead.
+func LoadCampaign(r io.Reader) (*Campaign, error) {
+	cr, err := OpenCampaign(r)
+	if err != nil {
+		return nil, err
+	}
+	return cr.ReadSets(nil)
+}
+
+// rebuildShell reconstructs the simulation environment for a loaded
+// campaign from its stored configuration — including the Scripted flag and
+// HumanScatterGain override, both of which the original loader dropped
+// (reloaded campaigns regenerated different receptions than the saved
+// ones). Legacy files with an unset mobility fall back to the default walk.
+func rebuildShell(cfg Config) (*Campaign, error) {
+	if !cfg.Scripted && cfg.Mobility.SpeedMax <= 0 {
+		cfg.Mobility = room.DefaultMobility()
+	}
+	return NewShell(cfg)
+}
+
+// ---------------------------------------------------------------------------
+// v1 codec (frozen)
+
+// saveV1 writes the legacy v1 format. It exists only so tests and
+// benchmarks can produce v1 streams (and regenerate the golden fixture);
+// production saves always use the v2 Writer.
+func saveV1(c *Campaign, w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	le := binary.LittleEndian
 	wU32 := func(v uint32) error { return binary.Write(bw, le, v) }
 	wF64 := func(v float64) error { return binary.Write(bw, le, v) }
-	if err := wU32(campaignMagic); err != nil {
+	if err := wU32(campaignMagicV1); err != nil {
 		return err
 	}
 	hdr := []uint32{
@@ -106,10 +160,9 @@ func boolU32(b bool) uint32 {
 	return 0
 }
 
-// LoadCampaign reads a campaign written by Save, rebuilding the simulation
-// objects from the stored configuration.
-func LoadCampaign(r io.Reader) (*Campaign, error) {
-	br := bufio.NewReader(r)
+// loadCampaignV1 decodes the legacy v1 body (the magic word has already
+// been consumed by OpenCampaign).
+func loadCampaignV1(br *bufio.Reader) (*Campaign, error) {
 	le := binary.LittleEndian
 	rU32 := func() (uint32, error) {
 		var v uint32
@@ -121,14 +174,8 @@ func LoadCampaign(r io.Reader) (*Campaign, error) {
 		err := binary.Read(br, le, &v)
 		return v, err
 	}
-	magic, err := rU32()
-	if err != nil {
-		return nil, err
-	}
-	if magic != campaignMagic {
-		return nil, errors.New("dataset: bad campaign magic")
-	}
 	var hdr [7]uint32
+	var err error
 	for i := range hdr {
 		if hdr[i], err = rU32(); err != nil {
 			return nil, err
@@ -154,27 +201,9 @@ func LoadCampaign(r io.Reader) (*Campaign, error) {
 	cfg.Imp.SNRdB, cfg.Imp.PhaseStdDev, cfg.Imp.CFOStdDevHz = flts[0], flts[1], flts[2]
 	cfg.Mobility.SpeedMin, cfg.Mobility.SpeedMax, cfg.Mobility.PauseTime = flts[3], flts[4], flts[5]
 
-	// Rebuild the simulation environment exactly as Generate does, but fill
-	// packets from the stream instead of simulating.
-	mob := cfg.Mobility
-	if mob.SpeedMax <= 0 {
-		mob = room.DefaultMobility()
-	}
-	shell, err := Generate(Config{
-		Sets: 1, PacketsPerSet: 1, PSDULen: cfg.PSDULen, Seed: cfg.Seed,
-		Imp: cfg.Imp, Mobility: mob,
-	})
+	c, err := rebuildShell(cfg)
 	if err != nil {
 		return nil, err
-	}
-	c := &Campaign{
-		Cfg:      cfg,
-		Room:     shell.Room,
-		Geometry: shell.Geometry,
-		Model:    shell.Model,
-		Receiver: shell.Receiver,
-		Camera:   shell.Camera,
-		RefCIR:   shell.RefCIR,
 	}
 
 	readCVec := func() ([]complex128, error) {
@@ -182,7 +211,7 @@ func LoadCampaign(r io.Reader) (*Campaign, error) {
 		if err != nil {
 			return nil, err
 		}
-		if n > 4096 {
+		if n > maxCIRLen {
 			return nil, errors.New("dataset: implausible CIR length")
 		}
 		out := make([]complex128, n)
@@ -255,7 +284,7 @@ func LoadCampaign(r io.Reader) (*Campaign, error) {
 				if n == 0 {
 					continue
 				}
-				if n > 10_000_000 {
+				if n > maxImagePixels {
 					return nil, errors.New("dataset: implausible image size")
 				}
 				img := make([]float32, n)

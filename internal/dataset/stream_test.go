@@ -1,0 +1,616 @@
+package dataset
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the testdata golden fixtures")
+
+// fidelityConfig is the config class the v1 store could not round-trip:
+// scripted trajectory plus a nonzero human scatter gain override.
+func fidelityConfig() Config {
+	cfg := smallConfig()
+	cfg.Scripted = true
+	cfg.HumanScatterGain = 0.4
+	return cfg
+}
+
+func comparePackets(t *testing.T, orig, loaded *Campaign) {
+	t.Helper()
+	if len(loaded.Sets) != len(orig.Sets) {
+		t.Fatalf("sets = %d, want %d", len(loaded.Sets), len(orig.Sets))
+	}
+	for si := range orig.Sets {
+		a, b := orig.Sets[si], loaded.Sets[si]
+		if a.Index != b.Index || len(a.Packets) != len(b.Packets) {
+			t.Fatalf("set %d shape mismatch", si)
+		}
+		for ki := range a.Packets {
+			if !reflect.DeepEqual(a.Packets[ki], b.Packets[ki]) {
+				t.Fatalf("set %d packet %d mismatch", si, ki)
+			}
+		}
+	}
+}
+
+func compareReception(t *testing.T, orig, loaded *Campaign, set, pkt int) {
+	t.Helper()
+	_, _, _, recA, err := orig.Reception(set, pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, recB, err := loaded.Reception(set, pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recA.Waveform) != len(recB.Waveform) {
+		t.Fatal("regenerated waveform length differs")
+	}
+	for i := range recA.Waveform {
+		if recA.Waveform[i] != recB.Waveform[i] {
+			t.Fatalf("regenerated waveforms differ at sample %d", i)
+		}
+	}
+}
+
+// TestV2RoundTripFullConfig pins the fidelity fix: a scripted,
+// nonzero-scatter-gain campaign survives Save→Load with its complete
+// Config and regenerates bit-identical receptions.
+func TestV2RoundTripFullConfig(t *testing.T) {
+	orig, err := Generate(fidelityConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCampaign(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Cfg != orig.Cfg {
+		t.Fatalf("config not preserved:\n got %+v\nwant %+v", loaded.Cfg, orig.Cfg)
+	}
+	if got := loaded.Geometry.HumanScatterGain; got != 0.4 {
+		t.Fatalf("rebuilt geometry scatter gain = %v, want 0.4", got)
+	}
+	comparePackets(t, orig, loaded)
+	compareReception(t, orig, loaded, 1, 2)
+	compareReception(t, orig, loaded, 3, 0)
+}
+
+// TestV1DropsScatterGain documents the legacy limitation the v2 format
+// fixes by construction: v1 never serialized HumanScatterGain, so a
+// reloaded v1 campaign rebuilds the default-geometry environment.
+func TestV1DropsScatterGain(t *testing.T) {
+	orig, err := Generate(fidelityConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := saveV1(orig, &buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCampaign(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Cfg.HumanScatterGain != 0 {
+		t.Fatal("v1 cannot carry HumanScatterGain; expected it dropped")
+	}
+	if !loaded.Cfg.Scripted {
+		t.Fatal("v1 stores the Scripted flag; expected it preserved")
+	}
+	if loaded.Geometry.HumanScatterGain == orig.Geometry.HumanScatterGain {
+		t.Fatal("expected the v1 rebuild to fall back to the default scatter gain")
+	}
+}
+
+// TestV1CompatRoundTrip exercises the frozen v1 codec end to end,
+// including the depth-image path.
+func TestV1CompatRoundTrip(t *testing.T) {
+	orig, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := saveV1(orig, &buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenCampaign(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Version() != 1 {
+		t.Fatalf("version = %d, want 1", r.Version())
+	}
+	loaded, err := r.ReadSets(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comparePackets(t, orig, loaded)
+	compareReception(t, orig, loaded, 1, 3)
+}
+
+// goldenV1Config must stay frozen: testdata/campaign_v1.bin was generated
+// from it (go test -run TestV1GoldenFixture -update-golden).
+func goldenV1Config() Config {
+	cfg := DefaultConfig()
+	cfg.Sets = 2
+	cfg.PacketsPerSet = 6
+	cfg.PSDULen = 24
+	cfg.Seed = 5
+	cfg.RenderImages = false
+	cfg.Scripted = true
+	return cfg
+}
+
+// TestV1GoldenFixture decodes the committed v1 fixture through the compat
+// path and checks it against a freshly generated campaign — the guarantee
+// that campaign files written before the v2 store keep loading, bit for
+// bit, as the codebase evolves.
+func TestV1GoldenFixture(t *testing.T) {
+	path := filepath.Join("testdata", "campaign_v1.bin")
+	cfg := goldenV1Config()
+	want, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		var buf bytes.Buffer
+		if err := saveV1(want, &buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, buf.Len())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCampaign(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Cfg != cfg {
+		t.Fatalf("fixture config = %+v, want %+v", loaded.Cfg, cfg)
+	}
+	comparePackets(t, want, loaded)
+	compareReception(t, want, loaded, 2, 1)
+}
+
+func saveV2(t *testing.T, c *Campaign) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestStreamNextSetAndEOF(t *testing.T) {
+	orig, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenCampaign(bytes.NewReader(saveV2(t, orig)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Version() != 2 || r.NumSets() != len(orig.Sets) {
+		t.Fatalf("header: version %d sets %d", r.Version(), r.NumSets())
+	}
+	if r.Config() != orig.Cfg {
+		t.Fatalf("header config mismatch")
+	}
+	for i := 0; i < len(orig.Sets); i++ {
+		set, err := r.NextSet()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if set.Index != i+1 || len(set.Packets) != len(orig.Sets[i].Packets) {
+			t.Fatalf("set %d shape mismatch", i)
+		}
+		if !reflect.DeepEqual(set.Packets, orig.Sets[i].Packets) {
+			t.Fatalf("set %d payload mismatch", i)
+		}
+	}
+	if _, err := r.NextSet(); err != io.EOF {
+		t.Fatalf("expected io.EOF, got %v", err)
+	}
+}
+
+func TestStreamSkipAndReadSet(t *testing.T) {
+	orig, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := saveV2(t, orig)
+
+	r, err := OpenCampaign(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx, err := r.SkipSet(); err != nil || idx != 1 {
+		t.Fatalf("SkipSet = %d, %v", idx, err)
+	}
+	set, err := r.NextSet()
+	if err != nil || set.Index != 2 {
+		t.Fatalf("NextSet after skip: %v, %v", set, err)
+	}
+
+	r, err = OpenCampaign(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err = r.ReadSet(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(set.Packets, orig.Sets[2].Packets) {
+		t.Fatal("ReadSet(3) payload mismatch")
+	}
+	// The stream has been consumed past set 1.
+	if _, err := r.ReadSet(1); err == nil {
+		t.Fatal("expected backward ReadSet to fail")
+	}
+	if _, err := r.ReadSet(99); err == nil {
+		t.Fatal("expected out-of-range ReadSet to fail")
+	}
+}
+
+func TestStreamReadSetsSubset(t *testing.T) {
+	orig, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenCampaign(bytes.NewReader(saveV2(t, orig)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := r.ReadSets(func(id int) bool { return id != 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Sets) != 3 {
+		t.Fatalf("placeholder slice length %d", len(c.Sets))
+	}
+	if len(c.Sets[1].Packets) != 0 || c.Sets[1].Index != 2 {
+		t.Fatal("skipped set should be an empty placeholder")
+	}
+	if !reflect.DeepEqual(c.Sets[0].Packets, orig.Sets[0].Packets) ||
+		!reflect.DeepEqual(c.Sets[2].Packets, orig.Sets[2].Packets) {
+		t.Fatal("kept sets mismatch")
+	}
+	// Receptions regenerate against the rebuilt environment.
+	compareReception(t, orig, c, 3, 1)
+}
+
+func TestStreamShellEnvironment(t *testing.T) {
+	orig, err := Generate(fidelityConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenCampaign(bytes.NewReader(saveV2(t, orig)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shell, err := r.Shell()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shell.Geometry.HumanScatterGain != orig.Geometry.HumanScatterGain {
+		t.Fatal("shell geometry differs")
+	}
+	if !reflect.DeepEqual(shell.RefCIR, orig.RefCIR) {
+		t.Fatal("shell reference CIR differs")
+	}
+	if len(shell.Sets) != len(orig.Sets) {
+		t.Fatal("shell placeholder count differs")
+	}
+	// A streamed set decodes packets that regenerate identically via the
+	// shell, without the other sets ever being materialized.
+	set, err := r.ReadSet(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, recA, err := orig.Reception(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, recB, err := shell.ReceptionPacket(&set.Packets[4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recA.Waveform {
+		if recA.Waveform[i] != recB.Waveform[i] {
+			t.Fatal("shell reception differs")
+		}
+	}
+}
+
+// TestV2CorruptionDetected flips bytes across the whole file — header,
+// config, set headers, payloads, checksums — and requires every flip to be
+// rejected: the v2 layout leaves no byte uncovered by a CRC.
+func TestV2CorruptionDetected(t *testing.T) {
+	cfg := smallConfig()
+	cfg.RenderImages = false
+	orig, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := saveV2(t, orig)
+	step := len(blob)/512 + 1
+	for pos := 0; pos < len(blob); pos += step {
+		mut := append([]byte(nil), blob...)
+		mut[pos] ^= 0x5a
+		if _, err := LoadCampaign(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("byte flip at offset %d of %d went undetected", pos, len(blob))
+		}
+	}
+}
+
+// TestV2TruncationDetected cuts the stream at assorted points; every
+// prefix must be rejected.
+func TestV2TruncationDetected(t *testing.T) {
+	cfg := smallConfig()
+	cfg.RenderImages = false
+	orig, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := saveV2(t, orig)
+	cuts := []int{0, 1, 3, 7, 11, 40, len(blob) / 3, len(blob) / 2, len(blob) - 5, len(blob) - 1}
+	for _, cut := range cuts {
+		if _, err := LoadCampaign(bytes.NewReader(blob[:cut])); err == nil {
+			t.Fatalf("truncation to %d of %d bytes went undetected", cut, len(blob))
+		}
+	}
+}
+
+func TestV2VersionGate(t *testing.T) {
+	// A header claiming version 3 (with a valid CRC) must be refused with
+	// a version message, not misparsed.
+	hdr := appendU32(nil, campaignMagicV2)
+	hdr = appendU32(hdr, 3)
+	hdr = appendU32(hdr, 2)
+	hdr = append(hdr, '{', '}')
+	hdr = appendU32(hdr, 0)
+	hdr = appendU32(hdr, 0xdeadbeef)
+	_, err := OpenCampaign(bytes.NewReader(hdr))
+	if err == nil || !strings.Contains(err.Error(), "version 3") {
+		t.Fatalf("expected version error, got %v", err)
+	}
+}
+
+func TestWriterMisuse(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Sets, cfg.PacketsPerSet = 2, 2
+	cfg.RenderImages = false
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, c.Cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSet(&Set{Index: 0}); err == nil {
+		t.Fatal("index 0 accepted")
+	}
+	if err := w.WriteSet(&c.Sets[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("Close with a missing declared set accepted")
+	}
+
+	buf.Reset()
+	w, err = NewWriter(&buf, c.Cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSet(&c.Sets[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSet(&c.Sets[1]); err == nil {
+		t.Fatal("extra set beyond declared count accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSet(&c.Sets[1]); err == nil {
+		t.Fatal("WriteSet after Close accepted")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// benchmarks: the Save/Load perf contract of the v2 store
+
+var (
+	benchOnce sync.Once
+	benchCamp *Campaign
+	benchV2   []byte
+	benchV1   []byte
+	benchErr  error
+)
+
+// benchCampaign builds a mid-size default-shape campaign (depth images on)
+// shared by every persistence benchmark.
+func benchCampaign(b *testing.B) (*Campaign, []byte, []byte) {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := DefaultConfig()
+		cfg.Sets = 4
+		cfg.PacketsPerSet = 40
+		cfg.PSDULen = 64
+		cfg.Seed = 11
+		benchCamp, benchErr = Generate(cfg)
+		if benchErr != nil {
+			return
+		}
+		var v2, v1 bytes.Buffer
+		if benchErr = benchCamp.Save(&v2); benchErr != nil {
+			return
+		}
+		if benchErr = saveV1(benchCamp, &v1); benchErr != nil {
+			return
+		}
+		benchV2, benchV1 = v2.Bytes(), v1.Bytes()
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchCamp, benchV2, benchV1
+}
+
+func BenchmarkCampaignSave(b *testing.B) {
+	c, v2, _ := benchCampaign(b)
+	b.SetBytes(int64(len(v2)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Save(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCampaignSaveV1(b *testing.B) {
+	c, _, v1 := benchCampaign(b)
+	b.SetBytes(int64(len(v1)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := saveV1(c, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCampaignLoad(b *testing.B) {
+	_, v2, _ := benchCampaign(b)
+	b.SetBytes(int64(len(v2)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LoadCampaign(bytes.NewReader(v2)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCampaignLoadV1(b *testing.B) {
+	_, _, v1 := benchCampaign(b)
+	b.SetBytes(int64(len(v1)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LoadCampaign(bytes.NewReader(v1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignStream measures the set-at-a-time path every streaming
+// consumer uses: decode one set, drop it, move on — peak live memory is
+// one set regardless of campaign size.
+func BenchmarkCampaignStream(b *testing.B) {
+	_, v2, _ := benchCampaign(b)
+	b.SetBytes(int64(len(v2)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := OpenCampaign(bytes.NewReader(v2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, err := r.NextSet(); err == io.EOF {
+				break
+			} else if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkCampaignInspect measures the decode-free verification path:
+// header parse plus CRC sweep of every set payload.
+func BenchmarkCampaignInspect(b *testing.B) {
+	_, v2, _ := benchCampaign(b)
+	b.SetBytes(int64(len(v2)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := OpenCampaign(bytes.NewReader(v2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		infos, err := r.Inspect()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, si := range infos {
+			if !si.CRCOK {
+				b.Fatal("checksum mismatch")
+			}
+		}
+	}
+}
+
+func TestWriterRejectsDuplicateIndex(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Sets, cfg.PacketsPerSet = 2, 2
+	cfg.RenderImages = false
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, c.Cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSet(&c.Sets[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSet(&c.Sets[0]); err == nil {
+		t.Fatal("duplicate set index accepted")
+	}
+}
+
+func TestV2RejectsNaNCIR(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Sets, cfg.PacketsPerSet = 1, 2
+	cfg.RenderImages = false
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Sets[0].Packets[1].Perfect[0] = complex(math.NaN(), 0)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadCampaign(&buf)
+	if err == nil || !strings.Contains(err.Error(), "NaN") {
+		t.Fatalf("expected NaN rejection, got %v", err)
+	}
+}

@@ -127,12 +127,43 @@ func NewEngine(p Params) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewEngineFromCampaign(c, p), nil
+}
+
+// NewEngineFromCampaign wraps an already-materialized campaign (generated
+// elsewhere or loaded from a campaign file). Params.Campaign is overridden
+// by the campaign's own stored configuration.
+func NewEngineFromCampaign(c *dataset.Campaign, p Params) *Engine {
+	p.Campaign = c.Cfg
 	return &Engine{
 		P:           p,
 		Campaign:    c,
 		vvdCache:    map[vvdKey]*vvdEntry{},
 		kalmanCache: map[kalmanKey]*kalmanEntry{},
-	}, nil
+	}
+}
+
+// NewEngineFromReader builds an engine from a streaming campaign reader
+// (dataset.OpenCampaign): it resolves which Table 2 combinations the run
+// evaluates from the stored set count and Params.Combos, then decodes only
+// the sets those combinations reference, skipping the rest without
+// decoding. With a combo limit this bounds memory to the sets actually
+// evaluated; the reader is consumed either way.
+func NewEngineFromReader(r *dataset.Reader, p Params) (*Engine, error) {
+	combos := dataset.CombinationsFor(r.NumSets(), p.Combos)
+	need := map[int]bool{}
+	for _, cb := range combos {
+		for _, id := range cb.Training {
+			need[id] = true
+		}
+		need[cb.Val] = true
+		need[cb.Test] = true
+	}
+	c, err := r.ReadSets(func(id int) bool { return need[id] })
+	if err != nil {
+		return nil, err
+	}
+	return NewEngineFromCampaign(c, p), nil
 }
 
 // Combos returns the Table 2 combinations this run evaluates.

@@ -16,9 +16,10 @@ type Nadam struct {
 	Beta1   float64
 	Beta2   float64
 	Epsilon float64
-	// Decay multiplies the learning rate by 1/(1+Decay·epoch) per Keras'
-	// schedule; the paper states the rate drops to 0.996 of its value
-	// each epoch (decay = 0.004).
+	// Decay is the multiplicative per-epoch schedule: each epoch the
+	// learning rate is (1-Decay)× the previous epoch's, i.e. the paper's
+	// "drops to 0.996 of its value each epoch" with Decay = 0.004. (This
+	// is not Keras' hyperbolic 1/(1+Decay·epoch) decay.)
 	Decay float64
 
 	t     int
@@ -30,7 +31,8 @@ func NewNadam() *Nadam {
 	return &Nadam{LR: 1e-4, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8, Decay: 0.004}
 }
 
-// EffectiveLR returns the decayed learning rate for the current epoch.
+// EffectiveLR returns the decayed learning rate for the current epoch:
+// LR·(1-Decay)^epoch, the paper's 0.996-per-epoch geometric schedule.
 func (o *Nadam) EffectiveLR() float64 {
 	return o.LR * math.Pow(1-o.Decay, float64(o.epoch))
 }
@@ -135,7 +137,6 @@ func Fit(net *Network, opt *Nadam, train, val []Sample, cfg TrainConfig) (*Histo
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		var epochLoss float64
-		var nBatches int
 		for start := 0; start < len(order); start += cfg.BatchSize {
 			end := start + cfg.BatchSize
 			if end > len(order) {
@@ -160,10 +161,11 @@ func Fit(net *Network, opt *Nadam, train, val []Sample, cfg TrainConfig) (*Histo
 			}
 			opt.Step(masterParams, len(batch))
 			net.ZeroGrad()
-			epochLoss += loss
-			nBatches++
+			// Weight each batch's mean loss by its size: averaging batch
+			// means directly over-weights the final partial batch.
+			epochLoss += loss * float64(len(batch))
 		}
-		trainLoss := epochLoss / float64(nBatches)
+		trainLoss := epochLoss / float64(len(order))
 		valLoss := trainLoss
 		if len(val) > 0 {
 			var err error
