@@ -23,6 +23,7 @@ import (
 	"vvd/internal/channel"
 	"vvd/internal/core"
 	"vvd/internal/dataset"
+	"vvd/internal/dsp"
 	"vvd/internal/estimate"
 	"vvd/internal/experiments"
 	"vvd/internal/nn"
@@ -391,6 +392,89 @@ func benchEvaluate(b *testing.B, workers int) {
 func BenchmarkEvaluateWorkers1(b *testing.B) { benchEvaluate(b, 1) }
 
 func BenchmarkEvaluateWorkersMax(b *testing.B) { benchEvaluate(b, runtime.GOMAXPROCS(0)) }
+
+// ---------- Campaign generation (the synthesis hot path) ----------
+
+// benchCampaignGenerate measures full campaign synthesis — packet
+// pipeline, channel, receiver estimates and depth images — at a fixed
+// worker count on the benchmark campaign (4×70 packets with images).
+// Allocations are reported: the fused signal chain, transmit cache and
+// frame memoization are pinned by allocs/op as much as by ns/op.
+func benchCampaignGenerate(b *testing.B, workers int) {
+	cfg := benchParams().Campaign
+	cfg.Workers = workers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := dataset.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			packets := float64(len(c.Sets) * len(c.Sets[0].Packets))
+			b.ReportMetric(packets, "packets")
+		}
+	}
+	b.ReportMetric(float64(cfg.Sets*cfg.PacketsPerSet)*float64(b.N)/b.Elapsed().Seconds(), "packets/s")
+}
+
+func BenchmarkCampaignGenerate1(b *testing.B) { benchCampaignGenerate(b, 1) }
+
+func BenchmarkCampaignGenerateMax(b *testing.B) { benchCampaignGenerate(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkSyncDetect measures preamble detection (normalized sync
+// correlation over the lag window) on a regenerated reception.
+func BenchmarkSyncDetect(b *testing.B) {
+	e := sharedEngine(b)
+	cb := e.Combos()[0]
+	pkt := e.Campaign.Sets[cb.Test-1].Packets[0]
+	_, _, _, rec, err := e.Campaign.Reception(cb.Test, pkt.Index)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rx := e.Campaign.Receiver
+	rxc, _ := rx.CorrectCFO(rec.Waveform)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, peak, _ := rx.DetectPreamble(rxc); !ok && peak < 0 {
+			b.Fatal("impossible sync statistic")
+		}
+	}
+}
+
+// BenchmarkConvolveFFT compares the direct and FFT convolution paths at
+// the sizes the receiver chain actually uses: the 11-tap CIR stays
+// direct (below the cutoff), the SHR-length reference rides the FFT.
+func BenchmarkConvolveFFT(b *testing.B) {
+	rng := rand.New(rand.NewPCG(31, 62))
+	x := make([]complex128, 34052) // full 64-byte-PSDU waveform length
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	for _, taps := range []int{11, 41, 256, 1284} {
+		h := make([]complex128, taps)
+		for i := range h {
+			h[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		b.Run(fmt.Sprintf("taps%d", taps), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = dsp.Convolve(x, h)
+			}
+		})
+	}
+	b.Run("crosscorr-shr", func(b *testing.B) {
+		ref := make([]complex128, 1284)
+		for i := range ref {
+			ref[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = dsp.CrossCorrelate(x, ref)
+		}
+	})
+}
 
 // ---------- Micro-benchmarks of the hot paths ----------
 

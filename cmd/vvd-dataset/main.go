@@ -29,6 +29,7 @@ func main() {
 		noImages = flag.Bool("no-images", false, "skip depth image rendering")
 		scripted = flag.Bool("scripted", false, "use the deterministic LoS-crossing trajectory")
 		snr      = flag.Float64("snr", 0, "override clear-channel SNR in dB (0 = default)")
+		workers  = flag.Int("workers", 0, "parallel generation workers (0 = one per core, 1 = sequential; output is identical for any value)")
 	)
 	flag.Parse()
 
@@ -46,6 +47,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.RenderImages = !*noImages
 	cfg.Scripted = *scripted
+	cfg.Workers = *workers
 	if *snr != 0 {
 		cfg.Imp.SNRdB = *snr
 	}

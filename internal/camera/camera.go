@@ -77,6 +77,24 @@ func (d *Depth) Normalized(maxRange float64) []float64 {
 	return out
 }
 
+// NormalizedF32 is Normalized producing the float32 pixels the dataset
+// stores, without the intermediate float64 image: each value equals
+// float32(v) for the corresponding Normalized output v.
+func (d *Depth) NormalizedF32(maxRange float64) []float32 {
+	out := make([]float32, len(d.Pix))
+	for i, p := range d.Pix {
+		v := float64(p) / maxRange
+		if v > 1 {
+			v = 1
+		}
+		if v < 0 {
+			v = 0
+		}
+		out[i] = float32(v)
+	}
+	return out
+}
+
 // Box is an axis-aligned static obstacle (desk, PC tower, robot chassis).
 type Box struct {
 	Min, Max room.Vec3
@@ -102,10 +120,20 @@ type Camera struct {
 	tanHalfH float64
 	tanHalfV float64
 
-	Room      *room.Room
+	Room *room.Room
+	// Furniture and MaxRange are consumed by New when it precomputes the
+	// static background depth below; mutating them after construction has
+	// no effect on rendering.
 	Furniture []Box
 	// MaxRange saturates the depth sensor (ZED: ~20 m; the room is smaller).
 	MaxRange float64
+
+	// dirs holds the per-pixel ray directions and bg the static background
+	// depth (room walls + furniture) along each of them, both precomputed
+	// in New: only the human moves between frames, so a render is a copy
+	// of the background plus one cylinder intersection per pixel.
+	dirs []room.Vec3
+	bg   []float64
 }
 
 // New creates a camera from the room's mounting pose with the given
@@ -120,7 +148,7 @@ func New(r *room.Room, hfovDeg float64) *Camera {
 	up := right.Cross(fwd).Normalize()
 	tanH := math.Tan(hfovDeg * math.Pi / 360)
 	aspect := float64(NativeRows) / float64(NativeCols)
-	return &Camera{
+	c := &Camera{
 		Pos:       r.Camera,
 		forward:   fwd,
 		right:     right,
@@ -132,39 +160,63 @@ func New(r *room.Room, hfovDeg float64) *Camera {
 		Furniture: DefaultFurniture(r),
 		MaxRange:  12,
 	}
-}
-
-// Render produces the native-resolution depth image of the room with the
-// human at the given position.
-func (c *Camera) Render(h room.Human) *Depth {
-	img := NewDepth(NativeRows, NativeCols)
-	for r := 0; r < NativeRows; r++ {
+	c.dirs = make([]room.Vec3, NativeRows*NativeCols)
+	c.bg = make([]float64, NativeRows*NativeCols)
+	for row := 0; row < NativeRows; row++ {
 		// NDC y: +1 at top row.
-		ny := 1 - 2*(float64(r)+0.5)/float64(NativeRows)
+		ny := 1 - 2*(float64(row)+0.5)/float64(NativeRows)
 		for col := 0; col < NativeCols; col++ {
 			nx := 2*(float64(col)+0.5)/float64(NativeCols) - 1
 			dir := c.forward.
 				Add(c.right.Scale(nx * c.tanHalfH)).
 				Add(c.up.Scale(ny * c.tanHalfV)).
 				Normalize()
-			img.Set(r, col, float32(c.castRay(dir, h)))
+			i := row*NativeCols + col
+			c.dirs[i] = dir
+			c.bg[i] = c.staticDepth(dir)
 		}
+	}
+	return c
+}
+
+// Render produces the native-resolution depth image of the room with the
+// human at the given position. The static scene depth is precomputed, so
+// each render costs one cylinder intersection per pixel.
+func (c *Camera) Render(h room.Human) *Depth {
+	img := NewDepth(NativeRows, NativeCols)
+	for i, dir := range c.dirs {
+		best := c.bg[i]
+		if t, ok := rayCylinder(c.Pos, dir, h); ok && t < best {
+			best = t
+		}
+		img.Pix[i] = float32(best)
 	}
 	return img
 }
 
-// RenderPreprocessed renders and applies the Fig. 7 crop.
+// RenderPreprocessed renders with the Fig. 7 crop applied, casting only
+// the rays inside the crop window (pixel-identical to Render followed by
+// Crop, without the native-resolution intermediate).
 func (c *Camera) RenderPreprocessed(h room.Human) *Depth {
-	img := c.Render(h)
-	out, err := img.Crop(CropTop, CropLeft, CropRows, CropCols)
-	if err != nil {
-		panic("camera: native resolution inconsistent with crop constants: " + err.Error())
+	out := NewDepth(CropRows, CropCols)
+	for r := 0; r < CropRows; r++ {
+		src := (CropTop+r)*NativeCols + CropLeft
+		dst := out.Pix[r*CropCols : (r+1)*CropCols]
+		for col := range dst {
+			i := src + col
+			best := c.bg[i]
+			if t, ok := rayCylinder(c.Pos, c.dirs[i], h); ok && t < best {
+				best = t
+			}
+			dst[col] = float32(best)
+		}
 	}
 	return out
 }
 
-// castRay returns the depth (metres, clamped to MaxRange) along dir.
-func (c *Camera) castRay(dir room.Vec3, h room.Human) float64 {
+// staticDepth intersects dir with the human-independent scene: the room
+// interior and the furniture boxes, clamped to MaxRange.
+func (c *Camera) staticDepth(dir room.Vec3) float64 {
 	best := c.MaxRange
 	if t, ok := rayBoxExit(c.Pos, dir, room.Vec3{}, room.Vec3{X: c.Room.Width, Y: c.Room.Depth, Z: c.Room.Height}); ok && t < best {
 		best = t
@@ -173,9 +225,6 @@ func (c *Camera) castRay(dir room.Vec3, h room.Human) float64 {
 		if t, ok := rayBoxEnter(c.Pos, dir, b.Min, b.Max); ok && t < best {
 			best = t
 		}
-	}
-	if t, ok := rayCylinder(c.Pos, dir, h); ok && t < best {
-		best = t
 	}
 	return best
 }

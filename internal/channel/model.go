@@ -3,6 +3,7 @@ package channel
 import (
 	"math"
 	"math/rand/v2"
+	"sync"
 
 	"vvd/internal/dsp"
 	"vvd/internal/room"
@@ -34,6 +35,25 @@ type Model struct {
 	HardwareResponse []complex128
 	// HardwareDelay is the index of the main tap in HardwareResponse.
 	HardwareDelay int
+
+	// clearGain caches Σ|h_i|² of the empty-room CIR (computed once on
+	// first use): every Link over the same model shares it, so per-packet
+	// link construction no longer re-projects the clear channel.
+	clearOnce sync.Once
+	clearGain float64
+}
+
+// ClearGain returns Σ|h_i|² of the empty-room CIR, computed once and
+// cached. It converts the nominal clear-channel SNR into an absolute
+// noise power.
+func (m *Model) ClearGain() float64 {
+	m.clearOnce.Do(func() {
+		clear := m.ProjectPaths(m.Geometry.PathsClear())
+		for _, c := range clear {
+			m.clearGain += real(c)*real(c) + imag(c)*imag(c)
+		}
+	})
+	return m.clearGain
 }
 
 // DefaultHardwareResponse models the testbed radio chain: a causal main
@@ -87,9 +107,15 @@ func (m *Model) CIR(h room.Human) []complex128 {
 // same index).
 func (m *Model) ProjectPaths(paths []Path) []complex128 {
 	taps := make([]complex128, m.Taps)
+	var kbuf [32]float64 // stack buffer reused across paths (Taps ≤ 32)
+	kernel := kbuf[:]
+	if m.Taps > len(kbuf) {
+		kernel = make([]float64, m.Taps)
+	}
+	kernel = kernel[:m.Taps]
 	for _, p := range paths {
 		d := (p.Delay - m.ReferenceDelay) * m.SampleRate // delay in samples
-		kernel := dsp.FractionalDelayKernel(m.Taps, m.Precursor, d)
+		dsp.FractionalDelayKernelInto(kernel, m.Precursor, d)
 		for i, k := range kernel {
 			taps[i] += p.Gain * complex(k, 0)
 		}
@@ -97,14 +123,24 @@ func (m *Model) ProjectPaths(paths []Path) []complex128 {
 	if len(m.HardwareResponse) == 0 {
 		return taps
 	}
-	full := dsp.Convolve(taps, m.HardwareResponse)
-	out := make([]complex128, m.Taps)
-	for i := range out {
-		if idx := i + m.HardwareDelay; idx < len(full) {
-			out[i] = full[idx]
+	n := m.Taps + len(m.HardwareResponse) - 1
+	var fbuf [64]complex128
+	var full []complex128
+	if n <= len(fbuf) {
+		full = fbuf[:n]
+	} else {
+		full = make([]complex128, n)
+	}
+	dsp.ConvolveTo(full, taps, m.HardwareResponse)
+	// Truncate back into taps (full was computed from it; it is free now).
+	for i := range taps {
+		if idx := i + m.HardwareDelay; idx < n {
+			taps[i] = full[idx]
+		} else {
+			taps[i] = 0
 		}
 	}
-	return out
+	return taps
 }
 
 // DominantTap returns the index of the largest-magnitude tap.
@@ -147,10 +183,6 @@ type Link struct {
 	Model *Model
 	Imp   Impairments
 	rng   *rand.Rand
-
-	// clearGain is Σ|h_i|² of the empty-room CIR, used to convert the
-	// nominal SNR into an absolute noise power.
-	clearGain float64
 }
 
 // NewLink creates a link; rng drives noise and impairment draws.
@@ -158,12 +190,8 @@ func NewLink(m *Model, imp Impairments, rng *rand.Rand) *Link {
 	if rng == nil {
 		panic("channel: NewLink needs a rand source")
 	}
-	clear := m.ProjectPaths(m.Geometry.PathsClear())
-	var gain float64
-	for _, c := range clear {
-		gain += real(c)*real(c) + imag(c)*imag(c)
-	}
-	return &Link{Model: m, Imp: imp, rng: rng, clearGain: gain}
+	m.ClearGain() // warm the shared clear-channel gain cache
+	return &Link{Model: m, Imp: imp, rng: rng}
 }
 
 // Reception is one received packet observation.
@@ -178,17 +206,38 @@ type Reception struct {
 // phase offset, CFO and AWGN to a transmit waveform given the instantaneous
 // human position.
 func (l *Link) Transmit(tx []complex128, h room.Human) *Reception {
+	return l.TransmitBuf(tx, h, nil)
+}
+
+// TransmitBuf is Transmit with an optional reusable output buffer: when
+// buf has capacity for the received waveform it backs Reception.Waveform,
+// so a caller processing packets in a loop pays one waveform allocation
+// total instead of one per packet (plus one per-pass impairment fusion
+// instead of three full-waveform copies). The impairment chain —
+// phase rotation, CFO, absolute-power AWGN — runs as a single in-place
+// pass with the same RNG draw order as the historical
+// Rotate/ApplyCFO/AddNoise sequence, keeping link realizations seed-
+// reproducible.
+func (l *Link) TransmitBuf(tx []complex128, h room.Human, buf []complex128) *Reception {
+	return l.TransmitBufPow(tx, dsp.Power(tx), h, buf)
+}
+
+// TransmitBufPow is TransmitBuf for callers that already know the mean
+// power of tx (e.g. a cached transmit waveform): it skips the per-call
+// full-waveform power pass. txPower must equal dsp.Power(tx).
+func (l *Link) TransmitBufPow(tx []complex128, txPower float64, h room.Human, buf []complex128) *Reception {
 	cir := l.Model.CIR(h)
-	rx := dsp.Convolve(tx, cir)
+	n := len(tx) + len(cir) - 1
+	var rx []complex128
+	if cap(buf) >= n {
+		rx = buf[:n]
+		dsp.ConvolveTo(rx, tx, cir)
+	} else {
+		rx = dsp.Convolve(tx, cir)
+	}
 	phase := l.rng.NormFloat64() * l.Imp.PhaseStdDev
-	if phase != 0 {
-		rx = dsp.Rotate(rx, phase)
-	}
 	cfo := l.rng.NormFloat64() * l.Imp.CFOStdDevHz
-	if cfo != 0 {
-		rx = dsp.ApplyCFO(rx, cfo, l.Model.SampleRate)
-	}
-	noisePower := dsp.Power(tx) * l.clearGain / math.Pow(10, l.Imp.SNRdB/10)
-	rx = dsp.AddNoise(rx, noisePower, l.rng)
+	noisePower := txPower * l.Model.ClearGain() / math.Pow(10, l.Imp.SNRdB/10)
+	dsp.Impair(rx, phase, cfo, l.Model.SampleRate, noisePower, l.rng)
 	return &Reception{Waveform: rx, TrueCIR: cir, Phase: phase, CFO: cfo}
 }

@@ -174,14 +174,24 @@ func (g *Geometry) PathsClear() []Path {
 
 func (g *Geometry) paths(h *room.Human) []Path {
 	r := g.Room
-	paths := make([]Path, 0, 12)
+	paths := make([]Path, 0, 16)
+	// One backing array for every path's blockage polyline (full-capacity
+	// subslices, so a later grow cannot alias an earlier path's segments).
+	segbuf := make([][2]room.Vec3, 0, 24)
+	seg2 := func(a, b, c, d room.Vec3) [][2]room.Vec3 {
+		start := len(segbuf)
+		segbuf = append(segbuf, [2]room.Vec3{a, b}, [2]room.Vec3{c, d})
+		return segbuf[start:len(segbuf):len(segbuf)]
+	}
 
 	// Line of sight.
 	losLen := r.TX.Dist(r.RX)
+	start := len(segbuf)
+	segbuf = append(segbuf, [2]room.Vec3{r.TX, r.RX})
 	los := Path{
 		Kind:     KindLoS,
 		Length:   losLen,
-		Segments: [][2]room.Vec3{{r.TX, r.RX}},
+		Segments: segbuf[start:len(segbuf):len(segbuf)],
 		baseAmp:  g.Wavelength / (4 * math.Pi * losLen),
 	}
 	paths = append(paths, los)
@@ -209,7 +219,7 @@ func (g *Geometry) paths(h *room.Human) []Path {
 		paths = append(paths, Path{
 			Kind:     KindWallReflection,
 			Length:   length,
-			Segments: [][2]room.Vec3{{r.TX, hit}, {hit, r.RX}},
+			Segments: seg2(r.TX, hit, hit, r.RX),
 			baseAmp:  r.WallReflectionLoss * g.Wavelength / (4 * math.Pi * length),
 		})
 	}
@@ -222,7 +232,7 @@ func (g *Geometry) paths(h *room.Human) []Path {
 		paths = append(paths, Path{
 			Kind:     KindScatter,
 			Length:   d1 + d2,
-			Segments: [][2]room.Vec3{{r.TX, s.Pos}, {s.Pos, r.RX}},
+			Segments: seg2(r.TX, s.Pos, s.Pos, r.RX),
 			baseAmp:  s.Gain * g.Wavelength / (4 * math.Pi * d1 * d2),
 		})
 	}

@@ -13,9 +13,13 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"vvd/internal/camera"
 	"vvd/internal/channel"
+	"vvd/internal/dsp"
 	"vvd/internal/estimate"
 	"vvd/internal/phy"
 	"vvd/internal/room"
@@ -55,6 +59,15 @@ type Config struct {
 	// efficiency when non-zero (how strongly the person's body itself
 	// contributes a moving multipath component).
 	HumanScatterGain float64
+	// Workers bounds the goroutines generating packets (and rendering
+	// their camera frames); 0 means one per core, 1 means sequential,
+	// matching the evaluation engine's knob. The generated campaign is
+	// byte-identical for every worker count: packets are independent given
+	// their link seeds and the per-set frame trajectories, which are
+	// precomputed sequentially. As a pure execution knob it is excluded
+	// from the campaign store header, keeping written files identical
+	// across worker counts too.
+	Workers int `json:"-"`
 }
 
 // DefaultConfig returns a laptop-scale campaign (the paper's full campaign
@@ -112,6 +125,61 @@ type Campaign struct {
 
 	// RefCIR is the clear-room CIR every estimate is phase-aligned to.
 	RefCIR []complex128
+
+	// tx caches the transmit-side build per 802.15.4 sequence number:
+	// BuildTx output depends only on (seq, PSDULen), so a campaign needs
+	// at most 256 variants no matter how many packets it generates or
+	// regenerates.
+	tx *txCache
+}
+
+// txVariant is one cached transmit build plus the ground-truth LS solver
+// whose reference-side normal equations depend only on the waveform.
+type txVariant struct {
+	ppdu     *phy.PPDU
+	wave     []complex128
+	power    float64 // dsp.Power(wave), constant per variant
+	chips    []byte
+	gtSolver *estimate.LSSolver
+}
+
+// txCache lazily builds and retains the ≤256 (seq → transmit) variants of
+// a campaign. Reads are lock-free; the mutex only serializes first
+// construction of a variant. All returned slices are shared and must be
+// treated as read-only.
+type txCache struct {
+	psduLen  int
+	receiver *estimate.Receiver
+	mod      *phy.Modulator
+
+	mu       sync.Mutex
+	variants [256]atomic.Pointer[txVariant]
+}
+
+func newTxCache(psduLen int, receiver *estimate.Receiver) *txCache {
+	return &txCache{psduLen: psduLen, receiver: receiver, mod: phy.NewModulator()}
+}
+
+func (tc *txCache) get(seq byte) (*txVariant, error) {
+	if v := tc.variants[seq].Load(); v != nil {
+		return v, nil
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if v := tc.variants[seq].Load(); v != nil {
+		return v, nil
+	}
+	ppdu, wave, chips, err := BuildTx(tc.mod, seq, tc.psduLen)
+	if err != nil {
+		return nil, err
+	}
+	solver, err := tc.receiver.GroundTruthSolver(wave)
+	if err != nil {
+		return nil, err
+	}
+	v := &txVariant{ppdu: ppdu, wave: wave, power: dsp.Power(wave), chips: chips, gtSolver: solver}
+	tc.variants[seq].Store(v)
+	return v, nil
 }
 
 // ImagePixels is the flattened size of one preprocessed depth image.
@@ -134,19 +202,154 @@ func NewShell(cfg Config) (*Campaign, error) {
 		g.HumanScatterGain = cfg.HumanScatterGain
 	}
 	model := channel.NewModel(g, phy.SampleRate)
+	rx := estimate.NewReceiver(estimate.DefaultConfig())
 	return &Campaign{
 		Cfg:      cfg,
 		Room:     lab,
 		Geometry: g,
 		Model:    model,
-		Receiver: estimate.NewReceiver(estimate.DefaultConfig()),
+		Receiver: rx,
 		Camera:   camera.New(lab, 90),
 		RefCIR:   model.ProjectPaths(g.PathsClear()),
+		tx:       newTxCache(cfg.PSDULen, rx),
 	}, nil
+}
+
+// setPlan holds the precomputed, deterministic per-set state packets draw
+// from: the frame-resolution trajectory, each packet's LED-synchronized
+// frame index, and the memoized frame renders.
+type setPlan struct {
+	seed     uint64
+	framePos []room.Vec3
+	frames   []int // per-packet LED frame index
+	renders  []frameRender
+}
+
+// frameRender memoizes one camera frame: packets at the three image lags
+// reference overlapping frames, so each referenced frame is rendered
+// exactly once per set and its normalized float32 buffer shared by every
+// packet (and lag) that uses it. sync.Once keeps the laziness safe under
+// the parallel packet fan-out.
+type frameRender struct {
+	once sync.Once
+	pix  []float32
+}
+
+func (p *setPlan) framePix(c *Campaign, f int) []float32 {
+	r := &p.renders[f]
+	r.once.Do(func() {
+		img := c.Camera.RenderPreprocessed(room.DefaultHuman(p.framePos[f]))
+		r.pix = img.NormalizedF32(c.Camera.MaxRange)
+	})
+	return r.pix
+}
+
+// planSet precomputes the trajectory and frame indices of one set.
+func planSet(c *Campaign, s int) *setPlan {
+	cfg := c.Cfg
+	setSeed := cfg.Seed + uint64(s)*1_000_003
+	// Simulate the take at camera frame resolution.
+	nFrames := int(float64(cfg.PacketsPerSet)*PacketInterval*camera.FrameRate) + 8
+	framePos := make([]room.Vec3, nFrames)
+	if cfg.Scripted {
+		pts := room.ScriptedPath(c.Room.MovementArea, nFrames, camera.FrameInterval, 1.1)
+		for f := range framePos {
+			framePos[f] = pts[f].Pos
+		}
+	} else {
+		walker := room.NewWalker(c.Room.MovementArea, cfg.Mobility, rand.New(rand.NewPCG(setSeed, setSeed^0x5bd1e995)))
+		for f := range framePos {
+			framePos[f] = walker.Step(camera.FrameInterval)
+		}
+	}
+	sync := camera.NewSynchronizer()
+	frames := make([]int, cfg.PacketsPerSet)
+	for k := range frames {
+		frame := sync.FrameIndex(float64(k+1) * PacketInterval)
+		if frame >= nFrames {
+			frame = nFrames - 1
+		}
+		frames[k] = frame
+	}
+	return &setPlan{seed: setSeed, framePos: framePos, frames: frames, renders: make([]frameRender, nFrames)}
+}
+
+// genWorker carries one generation goroutine's reusable state: the
+// reception waveform buffer and a reseedable RNG (a packet's link stream
+// is a function of its seed alone, so reseeding one PCG is equivalent to
+// constructing a fresh one per packet).
+type genWorker struct {
+	c       *Campaign
+	pcg     *rand.PCG
+	rng     *rand.Rand
+	waveBuf []complex128
+}
+
+func newGenWorker(c *Campaign) *genWorker {
+	pcg := rand.NewPCG(0, 0)
+	return &genWorker{c: c, pcg: pcg, rng: rand.New(pcg)}
+}
+
+// packet builds packet k of set s into its preallocated slot.
+func (g *genWorker) packet(plan *setPlan, s, k int) error {
+	c := g.c
+	cfg := c.Cfg
+	t := float64(k+1) * PacketInterval
+	frame := plan.frames[k]
+	pos := plan.framePos[frame]
+	seq := byte(k % 256)
+	linkSeed := plan.seed*31 + uint64(k)*2_654_435_761
+	tv, err := c.tx.get(seq)
+	if err != nil {
+		return err
+	}
+	g.pcg.Seed(linkSeed, linkSeed^0x9e3779b9)
+	link := channel.NewLink(c.Model, cfg.Imp, g.rng)
+	rec := link.TransmitBufPow(tv.wave, tv.power, room.DefaultHuman(pos), g.waveBuf)
+	g.waveBuf = rec.Waveform
+	rxc, _ := c.Receiver.CorrectCFOInPlace(rec.Waveform)
+	detected, peak, _ := c.Receiver.DetectPreamble(rxc)
+	perfect, err := tv.gtSolver.Estimate(rxc)
+	if err != nil {
+		return fmt.Errorf("dataset: set %d packet %d ground truth: %w", s+1, k, err)
+	}
+	preamble, err := c.Receiver.EstimatePreamble(rxc)
+	if err != nil {
+		return fmt.Errorf("dataset: set %d packet %d preamble estimate: %w", s+1, k, err)
+	}
+	pkt := Packet{
+		Index:            k,
+		Time:             t,
+		SeqNum:           seq,
+		Pos:              pos,
+		LinkSeed:         linkSeed,
+		TrueCIR:          rec.TrueCIR,
+		Perfect:          perfect,
+		PerfectAligned:   estimate.AlignPhase(perfect, c.RefCIR),
+		PreambleEst:      preamble,
+		SyncPeak:         peak,
+		PreambleDetected: detected,
+	}
+	if cfg.RenderImages {
+		for lag := ImageLag(0); lag < numLags; lag++ {
+			f := frame - lagFrames(lag)
+			if f < 0 {
+				f = 0
+			}
+			pkt.Images[lag] = plan.framePix(c, f)
+		}
+	}
+	c.Sets[s].Packets[k] = pkt
+	return nil
 }
 
 // Generate builds a campaign. Each set uses an independent random-waypoint
 // trajectory; the packet↔frame pairing follows the LED synchronization.
+//
+// Packets are generated by Config.Workers goroutines. Each packet's link
+// realization is seeded individually and the per-set trajectories are
+// precomputed sequentially, so the campaign is byte-identical for every
+// worker count (pinned by TestGenerateParallelMatchesSequential).
 func Generate(cfg Config) (*Campaign, error) {
 	if cfg.Sets <= 0 || cfg.PacketsPerSet <= 0 {
 		return nil, fmt.Errorf("dataset: need positive sets/packets, got %d/%d", cfg.Sets, cfg.PacketsPerSet)
@@ -155,86 +358,62 @@ func Generate(cfg Config) (*Campaign, error) {
 	if err != nil {
 		return nil, err
 	}
-	lab, model, cam, rx := c.Room, c.Model, c.Camera, c.Receiver
-	sync := camera.NewSynchronizer()
+	plans := make([]*setPlan, cfg.Sets)
+	c.Sets = make([]Set, cfg.Sets)
+	for s := range plans {
+		plans[s] = planSet(c, s)
+		c.Sets[s] = Set{Index: s + 1, Packets: make([]Packet, cfg.PacketsPerSet)}
+	}
 
-	mod := phy.NewModulator()
-	for s := 0; s < cfg.Sets; s++ {
-		setSeed := cfg.Seed + uint64(s)*1_000_003
-		// Simulate the take at camera frame resolution.
-		nFrames := int(float64(cfg.PacketsPerSet)*PacketInterval*camera.FrameRate) + 8
-		framePos := make([]room.Vec3, nFrames)
-		if cfg.Scripted {
-			pts := room.ScriptedPath(lab.MovementArea, nFrames, camera.FrameInterval, 1.1)
-			for f := range framePos {
-				framePos[f] = pts[f].Pos
-			}
-		} else {
-			walker := room.NewWalker(lab.MovementArea, cfg.Mobility, rand.New(rand.NewPCG(setSeed, setSeed^0x5bd1e995)))
-			for f := range framePos {
-				framePos[f] = walker.Step(camera.FrameInterval)
-			}
-		}
-		set := Set{Index: s + 1, Packets: make([]Packet, cfg.PacketsPerSet)}
-		for k := 0; k < cfg.PacketsPerSet; k++ {
-			t := float64(k+1) * PacketInterval
-			frame := sync.FrameIndex(t)
-			if frame >= nFrames {
-				frame = nFrames - 1
-			}
-			pos := framePos[frame]
-			human := room.DefaultHuman(pos)
-			seq := byte(k % 256)
-			linkSeed := setSeed*31 + uint64(k)*2_654_435_761
-			ppdu, txWave, txChips, err := BuildTx(mod, seq, cfg.PSDULen)
-			if err != nil {
+	total := cfg.Sets * cfg.PacketsPerSet
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+	if workers == 1 {
+		g := newGenWorker(c)
+		for i := 0; i < total; i++ {
+			if err := g.packet(plans[i/cfg.PacketsPerSet], i/cfg.PacketsPerSet, i%cfg.PacketsPerSet); err != nil {
 				return nil, err
 			}
-			_ = txChips
-			link := channel.NewLink(model, cfg.Imp, rand.New(rand.NewPCG(linkSeed, linkSeed^0x9e3779b9)))
-			rec := link.Transmit(txWave, human)
-			rxc, _ := rx.CorrectCFO(rec.Waveform)
-			detected, peak, _ := rx.DetectPreamble(rxc)
-			perfect, err := rx.EstimateGroundTruth(rxc, txWave)
-			if err != nil {
-				return nil, fmt.Errorf("dataset: set %d packet %d ground truth: %w", s+1, k, err)
-			}
-			preamble, err := rx.EstimatePreamble(rxc)
-			if err != nil {
-				return nil, fmt.Errorf("dataset: set %d packet %d preamble estimate: %w", s+1, k, err)
-			}
-			pkt := Packet{
-				Index:            k,
-				Time:             t,
-				SeqNum:           seq,
-				Pos:              pos,
-				LinkSeed:         linkSeed,
-				TrueCIR:          rec.TrueCIR,
-				Perfect:          perfect,
-				PerfectAligned:   estimate.AlignPhase(perfect, c.RefCIR),
-				PreambleEst:      preamble,
-				SyncPeak:         peak,
-				PreambleDetected: detected,
-			}
-			if cfg.RenderImages {
-				for lag := ImageLag(0); lag < numLags; lag++ {
-					f := frame - lagFrames(lag)
-					if f < 0 {
-						f = 0
-					}
-					img := cam.RenderPreprocessed(room.DefaultHuman(framePos[f]))
-					pix := img.Normalized(cam.MaxRange)
-					f32 := make([]float32, len(pix))
-					for i, v := range pix {
-						f32[i] = float32(v)
-					}
-					pkt.Images[lag] = f32
+		}
+		return c, nil
+	}
+
+	// Parallel fan-out: workers pull packet indices from a shared counter
+	// and write disjoint packet slots; the first error stops the fleet.
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g := newGenWorker(c)
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= total || failed.Load() {
+					return
+				}
+				s, k := i/cfg.PacketsPerSet, i%cfg.PacketsPerSet
+				if err := g.packet(plans[s], s, k); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed.Store(true)
+					return
 				}
 			}
-			set.Packets[k] = pkt
-			_ = ppdu
-		}
-		c.Sets = append(c.Sets, set)
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return c, nil
 }
@@ -282,15 +461,34 @@ func (c *Campaign) Reception(setIdx1Based, pktIdx int) (*phy.PPDU, []complex128,
 // ReceptionPacket regenerates the bit-exact link realization of a packet
 // that need not live in c.Sets — the streaming path hands packets of one
 // decoded set to a campaign shell without materializing the others.
+//
+// The transmit-side artifacts (PPDU, waveform, chips) come from the
+// campaign's per-sequence cache and are shared between calls: treat them
+// as read-only.
 func (c *Campaign) ReceptionPacket(pkt *Packet) (*phy.PPDU, []complex128, []byte, *channel.Reception, error) {
-	mod := phy.NewModulator()
-	ppdu, txWave, txChips, err := BuildTx(mod, pkt.SeqNum, c.Cfg.PSDULen)
-	if err != nil {
-		return nil, nil, nil, nil, err
+	var (
+		ppdu  *phy.PPDU
+		wave  []complex128
+		chips []byte
+	)
+	if c.tx != nil {
+		tv, err := c.tx.get(pkt.SeqNum)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		ppdu, wave, chips = tv.ppdu, tv.wave, tv.chips
+	} else {
+		// Campaigns built by NewShell always carry the cache; a hand-rolled
+		// shell (zero-value Campaign) gets a one-off build.
+		var err error
+		ppdu, wave, chips, err = BuildTx(phy.NewModulator(), pkt.SeqNum, c.Cfg.PSDULen)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
 	}
 	link := channel.NewLink(c.Model, c.Cfg.Imp, rand.New(rand.NewPCG(pkt.LinkSeed, pkt.LinkSeed^0x9e3779b9)))
-	rec := link.Transmit(txWave, room.DefaultHuman(pkt.Pos))
-	return ppdu, txWave, txChips, rec, nil
+	rec := link.Transmit(wave, room.DefaultHuman(pkt.Pos))
+	return ppdu, wave, chips, rec, nil
 }
 
 // Set returns the 1-based measurement set.

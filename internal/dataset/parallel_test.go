@@ -1,0 +1,72 @@
+package dataset
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestGenerateParallelMatchesSequential pins the determinism contract of
+// the parallel generator: a campaign generated with 8 workers is
+// byte-identical to the sequential one — every float of every estimate,
+// every sync statistic, every image buffer. Run under -race in CI it also
+// exercises the memoized frame renders and the shared transmit cache for
+// data races.
+func TestGenerateParallelMatchesSequential(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Workers = 1
+	seq, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	par, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Sets) != len(par.Sets) {
+		t.Fatalf("set counts differ: %d vs %d", len(seq.Sets), len(par.Sets))
+	}
+	for si := range seq.Sets {
+		a, b := seq.Sets[si], par.Sets[si]
+		if len(a.Packets) != len(b.Packets) {
+			t.Fatalf("set %d packet counts differ", si)
+		}
+		for ki := range a.Packets {
+			if !reflect.DeepEqual(a.Packets[ki], b.Packets[ki]) {
+				t.Fatalf("set %d packet %d differs between workers=1 and workers=8", si, ki)
+			}
+		}
+	}
+}
+
+// TestGenerateSharesFrameBuffers checks the frame-render memoization:
+// consecutive packets reference overlapping camera frames (packet k's
+// current frame is packet k+1's 100 ms-lagged frame), and memoized
+// renders must share the same normalized buffer rather than re-render.
+func TestGenerateSharesFrameBuffers(t *testing.T) {
+	c := genSmall(t)
+	shared := false
+	for _, s := range c.Sets {
+		for k := 0; k+1 < len(s.Packets); k++ {
+			cur := s.Packets[k].Images[LagCurrent]
+			lagged := s.Packets[k+1].Images[Lag100ms]
+			if len(cur) > 0 && len(lagged) > 0 && &cur[0] == &lagged[0] {
+				shared = true
+			}
+		}
+	}
+	if !shared {
+		t.Fatal("no overlapping frames share a render buffer — memoization not effective")
+	}
+}
+
+// TestGenerateWorkersErrorPropagates checks fail-fast error handling in
+// the parallel path (invalid PSDU surfaces as an error, not a panic).
+func TestGenerateWorkersErrorPropagates(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Workers = 4
+	cfg.PSDULen = 1
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("invalid PSDU accepted by parallel generator")
+	}
+}

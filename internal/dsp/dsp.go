@@ -8,29 +8,85 @@ import (
 	"math"
 	"math/cmplx"
 	"math/rand/v2"
+
+	"vvd/internal/dsp/fft"
 )
+
+// FFTMinOverlap is the measured size cutoff above which the zero-padded
+// FFT path beats direct evaluation: both operands (and, for correlation,
+// the number of output lags) must reach this length before the three
+// transforms amortize. Below it — notably the 11-tap CIR convolutions —
+// direct evaluation stays faster and bit-exact. See DESIGN.md
+// ("generation pipeline") for the measurement.
+const FFTMinOverlap = 128
 
 // Convolve returns the full linear convolution x*h
 // (length len(x)+len(h)−1). Either argument may be the longer one.
+// Large inputs (both operands ≥ 128 samples) route through a zero-padded
+// FFT, identical to the direct sum within float tolerance.
 func Convolve(x, h []complex128) []complex128 {
 	if len(x) == 0 || len(h) == 0 {
 		return nil
 	}
+	if len(x) >= FFTMinOverlap && len(h) >= FFTMinOverlap {
+		return fft.Convolve(x, h)
+	}
 	out := make([]complex128, len(x)+len(h)-1)
+	directConvolve(out, x, h)
+	return out
+}
+
+// directConvolve accumulates the linear convolution x*h into the zeroed
+// buffer dst, iterating the shorter operand in the outer loop so the
+// inner loop runs long contiguous spans.
+func directConvolve(dst, x, h []complex128) {
+	if len(h) < len(x) {
+		x, h = h, x
+	}
 	for i, xv := range x {
 		if xv == 0 {
 			continue
 		}
+		out := dst[i : i+len(h)]
 		for j, hv := range h {
-			out[i+j] += xv * hv
+			out[j] += xv * hv
 		}
 	}
-	return out
+}
+
+// ConvolveTo writes the full linear convolution x*h into dst, which must
+// have length len(x)+len(h)−1 and must not alias either input (the
+// direct path zeroes dst before reading the operands). It lets callers
+// with a reusable output buffer avoid the per-call allocation of
+// Convolve; the result is identical to Convolve for the same inputs.
+func ConvolveTo(dst, x, h []complex128) {
+	if len(dst) != len(x)+len(h)-1 {
+		panic("dsp: ConvolveTo needs len(dst) == len(x)+len(h)-1")
+	}
+	if len(x) >= FFTMinOverlap && len(h) >= FFTMinOverlap {
+		fft.ConvolveTo(dst, x, h)
+		return
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	directConvolve(dst, x, h)
 }
 
 // FilterSame applies FIR taps h to x and returns the "same"-length output:
 // out[n] = Σ h[k]·x[n−k], with x treated as zero outside its bounds.
+// This equals the first len(x) samples of the full convolution, so it
+// shares Convolve's FFT fast path above the size cutoff.
 func FilterSame(x, h []complex128) []complex128 {
+	if len(x) == 0 {
+		return nil
+	}
+	if len(h) == 0 {
+		return make([]complex128, len(x))
+	}
+	if len(x) >= FFTMinOverlap && len(h) >= FFTMinOverlap {
+		return fft.Convolve(x, h)[:len(x)]
+	}
 	out := make([]complex128, len(x))
 	for n := range x {
 		var s complex128
@@ -46,16 +102,30 @@ func FilterSame(x, h []complex128) []complex128 {
 
 // CrossCorrelate computes c[lag] = Σ_n x[n+lag]·conj(ref[n]) for
 // lag = 0..len(x)−len(ref). It is the sliding correlation used for frame
-// synchronization. Returns nil if ref is longer than x.
+// synchronization. Returns nil if ref is longer than x. When both the
+// reference and the lag range are long (≥ 128) — preamble sync over a
+// full waveform — the correlation runs via FFT; short lag windows stay on
+// the direct path with the conjugated reference hoisted out of the lag
+// loop.
 func CrossCorrelate(x, ref []complex128) []complex128 {
 	if len(ref) == 0 || len(ref) > len(x) {
 		return nil
 	}
-	out := make([]complex128, len(x)-len(ref)+1)
+	nlags := len(x) - len(ref) + 1
+	if nlags >= FFTMinOverlap && len(ref) >= FFTMinOverlap {
+		return fft.CrossCorrelate(x, ref)
+	}
+	// Hoist the conjugation: conj(ref) is reused by every lag.
+	refC := make([]complex128, len(ref))
+	for i, rv := range ref {
+		refC[i] = complex(real(rv), -imag(rv))
+	}
+	out := make([]complex128, nlags)
 	for lag := range out {
 		var s complex128
-		for n, rv := range ref {
-			s += x[lag+n] * cmplx.Conj(rv)
+		seg := x[lag : lag+len(refC)]
+		for n, rv := range refC {
+			s += seg[n] * rv
 		}
 		out[lag] = s
 	}
@@ -140,15 +210,23 @@ func FractionalDelayKernel(n, center int, delay float64) []float64 {
 	if n <= 0 {
 		return nil
 	}
+	out := make([]float64, n)
+	FractionalDelayKernelInto(out, center, delay)
+	return out
+}
+
+// FractionalDelayKernelInto fills dst with the windowed-sinc kernel of
+// FractionalDelayKernel (n = len(dst)), letting per-path projection loops
+// reuse one kernel buffer instead of allocating per path.
+func FractionalDelayKernelInto(dst []float64, center int, delay float64) {
 	if center < 0 {
 		center = 0
 	}
-	out := make([]float64, n)
-	for i := range out {
+	n := float64(len(dst))
+	for i := range dst {
 		t := float64(i-center) - delay
-		out[i] = sinc(t) * hann(t, float64(n))
+		dst[i] = sinc(t) * hann(t, n)
 	}
-	return out
 }
 
 func sinc(t float64) float64 {
@@ -220,13 +298,61 @@ func Rotate(x []complex128, theta float64) []complex128 {
 	return out
 }
 
+// cfoResync bounds the incremental-rotation recurrence used by the CFO
+// helpers: every cfoResync samples the rotator is recomputed exactly from
+// the sample index, so the accumulated rounding of the one-multiply
+// recurrence stays below ~cfoResync·2⁻⁵² in magnitude and phase.
+const cfoResync = 256
+
 // ApplyCFO applies a carrier frequency offset of freqHz at sample rate fs,
 // rotating sample n by exp(j·2π·freqHz·n/fs).
 func ApplyCFO(x []complex128, freqHz, fs float64) []complex128 {
 	out := make([]complex128, len(x))
-	step := 2 * math.Pi * freqHz / fs
-	for n, c := range x {
-		out[n] = c * cmplx.Exp(complex(0, step*float64(n)))
-	}
+	ApplyCFOTo(out, x, freqHz, fs)
 	return out
+}
+
+// ApplyCFOTo writes the CFO-rotated x into dst (dst and x may be the same
+// slice for in-place operation; len(dst) must be ≥ len(x)). The per-sample
+// rotation uses an incremental complex recurrence resynchronized every
+// cfoResync samples instead of a trig call per sample.
+func ApplyCFOTo(dst, x []complex128, freqHz, fs float64) {
+	step := 2 * math.Pi * freqHz / fs
+	sinS, cosS := math.Sincos(step)
+	stepRot := complex(cosS, sinS)
+	var rot complex128
+	for n, c := range x {
+		if n%cfoResync == 0 {
+			s, co := math.Sincos(step * float64(n))
+			rot = complex(co, s)
+		}
+		dst[n] = c * rot
+		rot *= stepRot
+	}
+}
+
+// Impair applies the per-packet receiver impairments in one fused in-place
+// pass over x: a constant phase rotation exp(jθ), a carrier frequency
+// offset of freqHz at sample rate fs, and additive circularly-symmetric
+// Gaussian noise of the given absolute per-sample power. The noise draws
+// consume exactly 2·len(x) normal variates in sample order, matching
+// AddNoise. A nil rng panics when noise is applied.
+func Impair(x []complex128, theta, freqHz, fs, noisePower float64, rng *rand.Rand) {
+	if noisePower < 0 {
+		noisePower = 0
+	}
+	sigma := math.Sqrt(noisePower / 2)
+	step := 2 * math.Pi * freqHz / fs
+	sinS, cosS := math.Sincos(step)
+	stepRot := complex(cosS, sinS)
+	base := cmplx.Exp(complex(0, theta))
+	var rot complex128
+	for n, c := range x {
+		if n%cfoResync == 0 {
+			s, co := math.Sincos(step * float64(n))
+			rot = base * complex(co, s)
+		}
+		x[n] = c*rot + complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+		rot *= stepRot
+	}
 }

@@ -1,0 +1,86 @@
+package fft
+
+import (
+	"math"
+	"sync"
+)
+
+// bluestein holds the precomputed chirp state for an arbitrary transform
+// length n: the DFT of any length reduces to a linear convolution with a
+// chirp sequence, which runs on a power-of-two radix-2 plan of size
+// ≥ 2n−1. Immutable after construction.
+type bluestein struct {
+	n     int
+	m     int          // power-of-two convolution size, ≥ 2n−1
+	plan  *Plan        // radix-2 plan of size m
+	chirp []complex128 // w[k] = e^{-iπ k²/n}, k = 0..n−1
+	bfft  []complex128 // FFT of the zero-padded, wrapped conj chirp
+}
+
+var bluesteinCache sync.Map // int -> *bluestein
+
+func bluesteinFor(n int) *bluestein {
+	if v, ok := bluesteinCache.Load(n); ok {
+		return v.(*bluestein)
+	}
+	b := newBluestein(n)
+	actual, _ := bluesteinCache.LoadOrStore(n, b)
+	return actual.(*bluestein)
+}
+
+func newBluestein(n int) *bluestein {
+	m := NextPow2(2*n - 1)
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// k² mod 2n keeps the phase argument small for large n (k²/n is
+		// only meaningful modulo 2).
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		s, c := math.Sincos(-math.Pi * float64(kk) / float64(n))
+		chirp[k] = complex(c, s)
+	}
+	// Convolution kernel: conj(chirp) at positive AND mirrored negative
+	// lags, wrapped around the circular buffer of size m.
+	bf := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		cc := complex(real(chirp[k]), -imag(chirp[k]))
+		bf[k] = cc
+		if k > 0 {
+			bf[m-k] = cc
+		}
+	}
+	plan := PlanFor(m)
+	plan.Forward(bf)
+	return &bluestein{n: n, m: m, plan: plan, chirp: chirp, bfft: bf}
+}
+
+// transform computes the DFT (or inverse DFT when inv is true) of x in
+// place; len(x) must equal b.n.
+func (b *bluestein) transform(x []complex128, inv bool) {
+	if len(x) != b.n {
+		panic("fft: bluestein length mismatch")
+	}
+	if inv {
+		for i, v := range x {
+			x[i] = complex(real(v), -imag(v))
+		}
+	}
+	a := getBuf(b.m)
+	for k, v := range x {
+		a[k] = v * b.chirp[k]
+	}
+	b.plan.Forward(a)
+	for i := range a {
+		a[i] *= b.bfft[i]
+	}
+	b.plan.Inverse(a)
+	for k := range x {
+		x[k] = a[k] * b.chirp[k]
+	}
+	putBuf(a)
+	if inv {
+		s := 1 / float64(b.n)
+		for i, v := range x {
+			x[i] = complex(real(v)*s, -imag(v)*s)
+		}
+	}
+}

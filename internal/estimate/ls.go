@@ -28,19 +28,133 @@ var ErrShortObservation = errors.New("estimate: received signal shorter than ref
 // where X is the convolution matrix (Eq. 5) of the known transmitted
 // samples and y the received samples over the same window. len(rx) must be
 // at least len(known)+taps−1.
+//
+// The normal equations are assembled in correlation form — XᴴX is the
+// Hermitian-Toeplitz autocorrelation of the known samples and Xᴴy their
+// cross-correlation with the observation — so the (len(known)+taps−1)×taps
+// convolution matrix is never materialized. For the full-waveform ground
+// truth estimate this removes a ~6 MiB allocation and an O(n·taps²)
+// product per packet, leaving O(n·taps) work.
 func LS(known, rx []complex128, taps int) ([]complex128, error) {
+	s, err := NewLSSolver(known, taps)
+	if err != nil {
+		return nil, err
+	}
+	return s.Estimate(rx)
+}
+
+// normalEquations builds XᴴX and Xᴴy for the convolution matrix X of the
+// known samples without materializing X. Because X is the full (zero-
+// boundary) convolution matrix, (XᴴX)[i][j] = Σ_m conj(x[m])·x[m+i−j] —
+// the autocorrelation of the known sequence at lag i−j, giving a
+// Hermitian-Toeplitz matrix from taps lag values — and
+// (Xᴴy)[i] = Σ_m conj(x[m])·y[m+i], a cross-correlation at taps lags.
+// len(rx) must be exactly len(known)+taps−1.
+func normalEquations(known, rx []complex128, taps int) (*mathx.Matrix, []complex128) {
+	return knownGram(known, taps), knownCrossCorr(known, rx, taps)
+}
+
+// knownGram builds the Hermitian-Toeplitz XᴴX block of the normal
+// equations from the known sequence's autocorrelation at taps lags.
+func knownGram(known []complex128, taps int) *mathx.Matrix {
+	n := len(known)
+	autoc := make([]complex128, taps)
+	for d := 0; d < taps; d++ {
+		var ra complex128
+		x := known[d:]
+		for m, kv := range known[:n-d] {
+			ra += complex(real(kv), -imag(kv)) * x[m]
+		}
+		autoc[d] = ra
+	}
+	xhx := mathx.NewMatrix(taps, taps)
+	for i := 0; i < taps; i++ {
+		for j := 0; j < taps; j++ {
+			if i >= j {
+				xhx.Set(i, j, autoc[i-j])
+			} else {
+				r := autoc[j-i]
+				xhx.Set(i, j, complex(real(r), -imag(r)))
+			}
+		}
+	}
+	return xhx
+}
+
+// knownCrossCorr computes Xᴴy: the cross-correlation of the observation
+// with the known sequence at taps lags. len(rx) must be at least
+// len(known)+taps−1.
+func knownCrossCorr(known, rx []complex128, taps int) []complex128 {
+	xhy := make([]complex128, taps)
+	for d := 0; d < taps; d++ {
+		var ry complex128
+		y := rx[d:]
+		for m, kv := range known {
+			ry += complex(real(kv), -imag(kv)) * y[m]
+		}
+		xhy[d] = ry
+	}
+	return xhy
+}
+
+// LSSolver performs repeated LS channel estimation against one fixed
+// known reference sequence. The reference-side normal-equation block XᴴX
+// — which depends only on the known samples — is assembled (and diagonally
+// loaded) once at construction, so each Estimate pays only the Xᴴy
+// cross-correlation and the taps×taps solve. The campaign generator keys
+// one solver per cached transmit waveform.
+type LSSolver struct {
+	knownConj []complex128 // conjugated reference, hoisted once
+	taps      int
+	lu        *mathx.LU // factored (XᴴX + εI)
+}
+
+// NewLSSolver validates the reference and precomputes the loaded XᴴX.
+func NewLSSolver(known []complex128, taps int) (*LSSolver, error) {
 	if taps <= 0 {
-		return nil, fmt.Errorf("estimate: LS needs taps > 0, got %d", taps)
+		return nil, fmt.Errorf("estimate: LSSolver needs taps > 0, got %d", taps)
 	}
 	if len(known) == 0 {
-		return nil, errors.New("estimate: LS needs known samples")
+		return nil, errors.New("estimate: LSSolver needs known samples")
 	}
-	rows := len(known) + taps - 1
+	xhx := knownGram(known, taps)
+	var trace float64
+	for i := 0; i < taps; i++ {
+		trace += real(xhx.At(i, i))
+	}
+	eps := complex(1e-12*trace/float64(taps), 0)
+	for i := 0; i < taps; i++ {
+		xhx.Set(i, i, xhx.At(i, i)+eps)
+	}
+	lu, err := mathx.Factor(xhx)
+	if err != nil {
+		return nil, err
+	}
+	kc := make([]complex128, len(known))
+	for i, kv := range known {
+		kc[i] = complex(real(kv), -imag(kv))
+	}
+	return &LSSolver{knownConj: kc, taps: taps, lu: lu}, nil
+}
+
+// Estimate solves for the channel seen by rx. The result equals
+// LS(known, rx, taps) for the solver's reference up to summation-order
+// rounding: Xᴴy accumulates all taps lags in a single pass over the
+// reference, reading each operand once instead of once per lag. Safe for
+// concurrent use.
+func (s *LSSolver) Estimate(rx []complex128) ([]complex128, error) {
+	rows := len(s.knownConj) + s.taps - 1
 	if len(rx) < rows {
 		return nil, fmt.Errorf("%w: need %d have %d", ErrShortObservation, rows, len(rx))
 	}
-	x := mathx.ConvolutionMatrix(known, taps)
-	return mathx.LeastSquares(x, rx[:rows])
+	xhy := make([]complex128, s.taps)
+	for m, kc := range s.knownConj {
+		w := rx[m : m+s.taps]
+		for d, wv := range w {
+			xhy[d] += kc * wv
+		}
+	}
+	return s.lu.Solve(xhy)
 }
 
 // ZF computes the LS zero-forcing equalizer of Eq. 6–7: an L-tap FIR filter
@@ -127,12 +241,16 @@ func EstimateCFO(rx []complex128, lag, start, span int, fs float64) float64 {
 // short boxcar suppresses out-of-band noise ahead of CFO estimation
 // without distorting the periodicity.
 func Boxcar(x []complex128, n int) []complex128 {
+	return boxcarInto(make([]complex128, len(x)), x, n)
+}
+
+// boxcarInto is Boxcar writing into dst (len(dst) must equal len(x); dst
+// must not alias x unless n ≤ 1).
+func boxcarInto(dst, x []complex128, n int) []complex128 {
 	if n <= 1 {
-		out := make([]complex128, len(x))
-		copy(out, x)
-		return out
+		copy(dst, x)
+		return dst
 	}
-	out := make([]complex128, len(x))
 	var acc complex128
 	scale := complex(1/float64(n), 0)
 	for i, v := range x {
@@ -140,9 +258,9 @@ func Boxcar(x []complex128, n int) []complex128 {
 		if i >= n {
 			acc -= x[i-n]
 		}
-		out[i] = acc * scale
+		dst[i] = acc * scale
 	}
-	return out
+	return dst
 }
 
 // PreamblePeriodSamples is the periodicity of the 802.15.4 preamble

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"vvd/internal/dsp"
 	"vvd/internal/mathx"
 )
 
@@ -38,19 +39,10 @@ func MMSE(known, rx []complex128, taps int, noiseVar, priorVar float64) ([]compl
 	if noiseVar < 0 {
 		noiseVar = 0
 	}
-	x := mathx.ConvolutionMatrix(known, taps)
-	xh := x.Hermitian()
-	xhx, err := xh.Mul(x)
-	if err != nil {
-		return nil, err
-	}
+	xhx, xhy := normalEquations(known, rx[:rows], taps)
 	load := complex(noiseVar/priorVar, 0)
 	for i := 0; i < taps; i++ {
 		xhx.Set(i, i, xhx.At(i, i)+load)
-	}
-	xhy, err := xh.MulVec(rx[:rows])
-	if err != nil {
-		return nil, err
 	}
 	return mathx.Solve(xhx, xhy)
 }
@@ -65,11 +57,9 @@ func NoiseVariance(known, rx []complex128, hEst []complex128) (float64, error) {
 	if len(rx) < rows {
 		return 0, ErrShortObservation
 	}
-	x := mathx.ConvolutionMatrix(known, len(hEst))
-	pred, err := x.MulVec(hEst)
-	if err != nil {
-		return 0, err
-	}
+	// X·ĥ is exactly the full linear convolution of the known samples with
+	// the estimate — no need to materialize the convolution matrix.
+	pred := dsp.Convolve(known, hEst)
 	var res float64
 	for i := 0; i < rows; i++ {
 		d := rx[i] - pred[i]

@@ -2,6 +2,7 @@ package estimate
 
 import (
 	"errors"
+	"sync"
 
 	"vvd/internal/dsp"
 	"vvd/internal/phy"
@@ -39,6 +40,11 @@ type Receiver struct {
 	// shrKnown is the SHR reference truncated to whole chips (the trailing
 	// half-pulse overlaps the PHR in a real packet).
 	shrKnown []complex128
+
+	// preSolvers caches the SHR-reference LSSolver per tap count (keyed
+	// because ablations sweep Cfg.CIRTaps): the reference-side normal
+	// equations are shared by every packet's preamble estimate.
+	preSolvers sync.Map // int -> *LSSolver
 }
 
 // NewReceiver builds a receiver with the given configuration.
@@ -53,18 +59,44 @@ func NewReceiver(cfg Config) *Receiver {
 // The estimator prefilters to the signal band and correlates at half the
 // preamble length for the lowest phase-noise floor.
 func (r *Receiver) CorrectCFO(rx []complex128) ([]complex128, float64) {
+	out := make([]complex128, len(rx))
+	cfo := r.correctCFOTo(out, rx)
+	return out, cfo
+}
+
+// CorrectCFOInPlace is CorrectCFO operating directly on rx, for callers
+// that no longer need the uncorrected waveform (the generation hot path):
+// it avoids the full-waveform output allocation.
+func (r *Receiver) CorrectCFOInPlace(rx []complex128) ([]complex128, float64) {
+	return rx, r.correctCFOTo(rx, rx)
+}
+
+// correctCFOTo estimates the CFO and writes the corrected waveform into
+// dst (dst may alias rx). The estimator only reads the preamble, so the
+// band prefilter runs over that prefix alone rather than the whole
+// waveform.
+func (r *Receiver) correctCFOTo(dst, rx []complex128) float64 {
 	preamble := phy.PreambleBytes * 2 * phy.ChipsPerSymbol * phy.SamplesPerChip // 1024
 	lag := preamble / 2                                                         // 4 periods
 	start := PreamblePeriodSamples                                              // skip startup transient
 	span := preamble - lag - start
-	filtered := Boxcar(rx, phy.SamplesPerChip)
+	window := rx
+	if len(window) > preamble {
+		window = window[:preamble] // the boxcar is causal: prefix-exact
+	}
+	var fbuf [1024]complex128 // stack scratch for the common PHY constants
+	scratch := fbuf[:]
+	if len(window) > len(scratch) {
+		scratch = make([]complex128, len(window)) // larger preamble (e.g. oversampling experiments)
+	}
+	filtered := boxcarInto(scratch[:len(window)], window, phy.SamplesPerChip)
 	cfo := EstimateCFO(filtered, lag, start, span, phy.SampleRate)
 	if cfo == 0 {
-		out := make([]complex128, len(rx))
-		copy(out, rx)
-		return out, 0
+		copy(dst, rx)
+		return 0
 	}
-	return dsp.ApplyCFO(rx, -cfo, phy.SampleRate), cfo
+	dsp.ApplyCFOTo(dst, rx, -cfo, phy.SampleRate)
+	return cfo
 }
 
 // DetectPreamble computes the normalized sync correlation peak and compares
@@ -83,10 +115,30 @@ func (r *Receiver) EstimateGroundTruth(rx, txWave []complex128) ([]complex128, e
 	return LS(txWave, rx, r.Cfg.CIRTaps)
 }
 
+// GroundTruthSolver returns an LSSolver that repeats EstimateGroundTruth
+// against a fixed known transmit waveform: the reference-side normal
+// equations are precomputed once, halving the per-packet estimation cost
+// when many receptions share a transmit waveform (the campaign
+// generator's case).
+func (r *Receiver) GroundTruthSolver(txWave []complex128) (*LSSolver, error) {
+	return NewLSSolver(txWave, r.Cfg.CIRTaps)
+}
+
 // EstimatePreamble performs LS estimation over the known synchronization
-// header only (paper Fig. 9, "Preamble Based").
+// header only (paper Fig. 9, "Preamble Based"). The SHR-side normal
+// equations are cached per tap count, so each call pays only the
+// observation cross-correlation and the solve.
 func (r *Receiver) EstimatePreamble(rx []complex128) ([]complex128, error) {
-	return LS(r.shrKnown, rx, r.Cfg.CIRTaps)
+	taps := r.Cfg.CIRTaps
+	if v, ok := r.preSolvers.Load(taps); ok {
+		return v.(*LSSolver).Estimate(rx)
+	}
+	s, err := NewLSSolver(r.shrKnown, taps)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := r.preSolvers.LoadOrStore(taps, s)
+	return v.(*LSSolver).Estimate(rx)
 }
 
 // Result summarizes the decode of a single packet.

@@ -121,8 +121,13 @@ type kalmanEntry struct {
 	err  error
 }
 
-// NewEngine generates the campaign for the given parameters.
+// NewEngine generates the campaign for the given parameters. Generation
+// inherits the evaluation fan-out width unless the campaign config sets
+// its own; the campaign content is identical either way.
 func NewEngine(p Params) (*Engine, error) {
+	if p.Campaign.Workers == 0 {
+		p.Campaign.Workers = p.Workers
+	}
 	c, err := dataset.Generate(p.Campaign)
 	if err != nil {
 		return nil, err

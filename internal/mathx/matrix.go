@@ -240,6 +240,93 @@ func Solve(a *Matrix, b []complex128) ([]complex128, error) {
 	return x, nil
 }
 
+// LU is a reusable partial-pivoting factorization for solving the same
+// square system against many right-hand sides: Factor once, Solve per
+// vector. The elimination follows Solve step for step (same pivot
+// choices, same multiplier products), so LU.Solve(b) returns the same
+// floats as Solve(a, b).
+type LU struct {
+	n   int
+	w   *Matrix // upper triangle = U, strict lower = elimination factors
+	piv []int   // row swapped with column i at step i
+}
+
+// Factor computes the PLU factorization of a square matrix. a is not
+// modified.
+func Factor(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("%w: Factor needs square matrix, got %dx%d", ErrShape, a.Rows, a.Cols)
+	}
+	n := a.Rows
+	w := a.Clone()
+	piv := make([]int, n)
+	for col := 0; col < n; col++ {
+		pivot := col
+		best := cmplx.Abs(w.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if mag := cmplx.Abs(w.At(r, col)); mag > best {
+				best, pivot = mag, r
+			}
+		}
+		if best < 1e-300 {
+			return nil, ErrSingular
+		}
+		piv[col] = pivot
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				w.Data[col*n+j], w.Data[pivot*n+j] = w.Data[pivot*n+j], w.Data[col*n+j]
+			}
+		}
+		inv := 1 / w.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := w.At(r, col) * inv
+			w.Set(r, col, f) // store the multiplier in the eliminated slot
+			if f == 0 {
+				continue
+			}
+			for j := col + 1; j < n; j++ {
+				w.Set(r, j, w.At(r, j)-f*w.At(col, j))
+			}
+		}
+	}
+	return &LU{n: n, w: w, piv: piv}, nil
+}
+
+// Solve solves the factored system for one right-hand side. b is not
+// modified. Safe for concurrent use.
+func (lu *LU) Solve(b []complex128) ([]complex128, error) {
+	n := lu.n
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: LU %dx%d vs rhs %d", ErrShape, n, n, len(b))
+	}
+	x := make([]complex128, n)
+	copy(x, b)
+	w := lu.w
+	// Apply every row interchange first: the stored multipliers were
+	// row-swapped by later pivots during factorization, so the forward
+	// substitution must run against the fully permuted right-hand side.
+	for col := 0; col < n; col++ {
+		if p := lu.piv[col]; p != col {
+			x[col], x[p] = x[p], x[col]
+		}
+	}
+	for col := 0; col < n; col++ {
+		for r := col + 1; r < n; r++ {
+			if f := w.At(r, col); f != 0 {
+				x[r] -= f * x[col]
+			}
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= w.At(i, j) * x[j]
+		}
+		x[i] = s / w.At(i, i)
+	}
+	return x, nil
+}
+
 // Inverse returns a⁻¹ for a square matrix via column-wise solves.
 func Inverse(a *Matrix) (*Matrix, error) {
 	if a.Rows != a.Cols {

@@ -2,6 +2,7 @@ package phy
 
 import (
 	"math"
+	"sync"
 
 	"vvd/internal/dsp"
 )
@@ -75,15 +76,9 @@ func (m *Modulator) ModulatePPDU(p *PPDU) []complex128 {
 // is suppressed ahead of the chip decisions, while same-rail pulses remain
 // orthogonal at the decision instants.
 func MatchedFilter(x []complex128) []complex128 {
-	n := 2 * SamplesPerChip
-	pulse := make([]float64, n)
-	var energy float64
-	for k := range pulse {
-		pulse[k] = math.Sin(math.Pi * float64(k) / float64(n))
-		energy += pulse[k] * pulse[k]
-	}
+	pulse, energy := matchedPulse()
 	out := make([]complex128, len(x))
-	half := n / 2
+	half := len(pulse) / 2
 	for i := range x {
 		var acc complex128
 		for m, pv := range pulse {
@@ -95,6 +90,19 @@ func MatchedFilter(x []complex128) []complex128 {
 	}
 	return out
 }
+
+// matchedPulse returns the cached half-sine matched-filter taps and their
+// energy (built once; the pulse shape is a PHY constant).
+var matchedPulse = sync.OnceValues(func() ([]float64, float64) {
+	n := 2 * SamplesPerChip
+	pulse := make([]float64, n)
+	var energy float64
+	for k := range pulse {
+		pulse[k] = math.Sin(math.Pi * float64(k) / float64(n))
+		energy += pulse[k] * pulse[k]
+	}
+	return pulse, energy
+})
 
 // ChipDecisions slices hard chip decisions out of a (equalized,
 // phase-corrected) waveform. Chip k has its pulse peak at sample (k+1)·SPS;
@@ -143,12 +151,26 @@ type ReferenceWaveforms struct {
 	mod *Modulator
 	// SHR is the modulated synchronization header (preamble + SFD).
 	SHR []complex128
+	// shrConj is conj(SHR), hoisted once for the sync correlation.
+	shrConj []complex128
+	// shrEnergy is √(Σ|SHR|²), the reference side of the sync normalizer.
+	shrEnergy float64
 }
 
 // NewReferenceWaveforms builds the cached references.
 func NewReferenceWaveforms() *ReferenceWaveforms {
 	m := NewModulator()
-	return &ReferenceWaveforms{mod: m, SHR: m.ModulateChips(SHRChips())}
+	shr := m.ModulateChips(SHRChips())
+	conj := make([]complex128, len(shr))
+	for i, v := range shr {
+		conj[i] = complex(real(v), -imag(v))
+	}
+	return &ReferenceWaveforms{
+		mod:       m,
+		SHR:       shr,
+		shrConj:   conj,
+		shrEnergy: math.Sqrt(dsp.Power(shr) * float64(len(shr))),
+	}
 }
 
 // Modulator exposes the underlying modulator.
@@ -159,6 +181,11 @@ func (r *ReferenceWaveforms) Modulator() *Modulator { return r.mod }
 // its lag. This is the receiver's preamble detection statistic: deep fades
 // push it below threshold, modelling the paper's preamble detection
 // failures.
+//
+// All lags are produced by a single sliding correlation (FFT-accelerated
+// above the dsp size cutoff) and the per-lag window energy is maintained
+// incrementally, so the search costs O(refLen + maxLag) bookkeeping on
+// top of the one correlation instead of a full reference pass per lag.
 func (r *ReferenceWaveforms) NormalizedSyncPeak(rx []complex128, maxLag int) (peak float64, lag int) {
 	refLen := len(r.SHR)
 	if refLen == 0 || refLen > len(rx) {
@@ -167,16 +194,53 @@ func (r *ReferenceWaveforms) NormalizedSyncPeak(rx []complex128, maxLag int) (pe
 	if maxLag > len(rx)-refLen {
 		maxLag = len(rx) - refLen
 	}
-	refE := math.Sqrt(dsp.Power(r.SHR) * float64(refLen))
+	if maxLag < 0 {
+		maxLag = 0
+	}
+	refE := r.shrEnergy
+	// Long searches ride the dsp FFT fast path; short lag windows (the
+	// receiver's MaxSyncLag regime) correlate inline against the cached
+	// conjugate reference without allocating.
+	var c []complex128
+	if maxLag+1 >= dsp.FFTMinOverlap && refLen >= dsp.FFTMinOverlap {
+		c = dsp.CrossCorrelate(rx[:refLen+maxLag], r.SHR)
+	}
+	corrAt := func(l int) complex128 {
+		if c != nil {
+			return c[l]
+		}
+		var s complex128
+		seg := rx[l : l+refLen]
+		for n, rv := range r.shrConj {
+			s += seg[n] * rv
+		}
+		return s
+	}
+	windowEnergy := func(l int) float64 {
+		var e float64
+		for _, v := range rx[l : l+refLen] {
+			e += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return e
+	}
+	segE := windowEnergy(0)
 	best, bestLag := 0.0, 0
 	for l := 0; l <= maxLag; l++ {
-		seg := rx[l : l+refLen]
-		c := dsp.CrossCorrelate(seg, r.SHR)
-		segE := math.Sqrt(dsp.Power(seg) * float64(refLen))
-		if segE == 0 {
+		if l > 0 {
+			if l%4096 == 0 {
+				// Resynchronize the rolling sum so subtraction rounding
+				// cannot accumulate over long searches.
+				segE = windowEnergy(l)
+			} else {
+				out, in := rx[l-1], rx[l+refLen-1]
+				segE += real(in)*real(in) + imag(in)*imag(in) -
+					real(out)*real(out) - imag(out)*imag(out)
+			}
+		}
+		if segE <= 0 {
 			continue
 		}
-		if v := cAbs(c[0]) / (refE * segE); v > best {
+		if v := cAbs(corrAt(l)) / (refE * math.Sqrt(segE)); v > best {
 			best, bestLag = v, l
 		}
 	}
