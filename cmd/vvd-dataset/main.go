@@ -6,6 +6,8 @@
 // Usage:
 //
 //	vvd-dataset -out campaign.bin -sets 15 -packets 120 -psdu 127
+//	vvd-dataset -scenario crowded-room-4 -out crowd.bin
+//	vvd-dataset -list-scenarios
 //	vvd-dataset -inspect campaign.bin
 package main
 
@@ -16,23 +18,31 @@ import (
 	"os"
 
 	"vvd/internal/dataset"
+	"vvd/internal/scenario"
 )
 
 func main() {
 	var (
-		out      = flag.String("out", "campaign.bin", "output file")
-		inspect  = flag.String("inspect", "", "inspect an existing campaign file (header, config, per-set checksums) and exit")
-		sets     = flag.Int("sets", 15, "number of measurement sets (takes)")
-		packets  = flag.Int("packets", 120, "packets per set (paper: ~1500)")
-		psdu     = flag.Int("psdu", 127, "PSDU length in bytes")
-		seed     = flag.Uint64("seed", 1, "master random seed")
-		noImages = flag.Bool("no-images", false, "skip depth image rendering")
-		scripted = flag.Bool("scripted", false, "use the deterministic LoS-crossing trajectory")
-		snr      = flag.Float64("snr", 0, "override clear-channel SNR in dB (0 = default)")
-		workers  = flag.Int("workers", 0, "parallel generation workers (0 = one per core, 1 = sequential; output is identical for any value)")
+		out       = flag.String("out", "campaign.bin", "output file")
+		inspect   = flag.String("inspect", "", "inspect an existing campaign file (header, config, per-set checksums) and exit")
+		sets      = flag.Int("sets", 15, "number of measurement sets (takes)")
+		packets   = flag.Int("packets", 120, "packets per set (paper: ~1500)")
+		psdu      = flag.Int("psdu", 127, "PSDU length in bytes")
+		seed      = flag.Uint64("seed", 1, "master random seed")
+		noImages  = flag.Bool("no-images", false, "skip depth image rendering")
+		scripted  = flag.Bool("scripted", false, "use the deterministic LoS-crossing trajectory")
+		snr       = flag.Float64("snr", 0, "override clear-channel SNR in dB (0 = default)")
+		occupants = flag.Int("occupants", 0, "people in the room (0 = the paper's single human, N > 1 = N collision-avoiding walkers, -1 = empty room)")
+		preset    = flag.String("scenario", "", "apply a registered scenario preset (see -list-scenarios); -scripted/-snr/-occupants further shape it (non-zero/true values win over the preset; zero/false keep it)")
+		list      = flag.Bool("list-scenarios", false, "list the registered scenario presets and exit")
+		workers   = flag.Int("workers", 0, "parallel generation workers (0 = one per core, 1 = sequential; output is identical for any value)")
 	)
 	flag.Parse()
 
+	if *list {
+		listScenarios()
+		return
+	}
 	if *inspect != "" {
 		if err := inspectCampaign(*inspect); err != nil {
 			fatal(err)
@@ -41,19 +51,35 @@ func main() {
 	}
 
 	cfg := dataset.DefaultConfig()
+	if *preset != "" {
+		applied, err := scenario.Resolve(*preset, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		cfg = applied
+	}
 	cfg.Sets = *sets
 	cfg.PacketsPerSet = *packets
 	cfg.PSDULen = *psdu
 	cfg.Seed = *seed
 	cfg.RenderImages = !*noImages
-	cfg.Scripted = *scripted
 	cfg.Workers = *workers
+	if *scripted {
+		cfg.Scripted = true
+	}
+	if *occupants != 0 {
+		cfg.Occupants = *occupants
+	}
 	if *snr != 0 {
 		cfg.Imp.SNRdB = *snr
 	}
 
-	fmt.Printf("generating campaign: %d sets x %d packets, PSDU %d bytes, images=%v\n",
-		cfg.Sets, cfg.PacketsPerSet, cfg.PSDULen, cfg.RenderImages)
+	fmt.Printf("generating campaign: %d sets x %d packets, PSDU %d bytes, images=%v, occupants=%d",
+		cfg.Sets, cfg.PacketsPerSet, cfg.PSDULen, cfg.RenderImages, cfg.NumOccupants())
+	if cfg.Scenario != "" {
+		fmt.Printf(", scenario=%s", cfg.Scenario)
+	}
+	fmt.Println()
 	c, err := dataset.Generate(cfg)
 	if err != nil {
 		fatal(err)
@@ -88,6 +114,13 @@ func main() {
 	}
 	fmt.Printf("wrote %s (%.1f MiB): %d packets, %.1f%% preambles detected\n",
 		*out, float64(info.Size())/(1<<20), total, 100*float64(detected)/float64(total))
+}
+
+// listScenarios prints every registered preset with its description.
+func listScenarios() {
+	for _, s := range scenario.All() {
+		fmt.Printf("%-20s %s\n", s.Name, s.Description)
+	}
 }
 
 // inspectCampaign prints a campaign file's header, configuration and

@@ -7,6 +7,7 @@
 //	vvd-eval -figures 12,16 -sets 8 -packets 150 -combos 5
 //	vvd-eval -figures 12 -workers 8       # parallel evaluation fan-out
 //	vvd-eval -campaign campaign.bin       # stream a stored campaign instead of generating
+//	vvd-eval -scenarios all               # cross-scenario occupancy sweep
 //	vvd-eval -paper                       # full-scale (hours)
 package main
 
@@ -19,6 +20,7 @@ import (
 
 	"vvd/internal/dataset"
 	"vvd/internal/experiments"
+	"vvd/internal/scenario"
 )
 
 func main() {
@@ -33,8 +35,18 @@ func main() {
 		paper    = flag.Bool("paper", false, "full paper-scale parameters (very slow)")
 		seed     = flag.Uint64("seed", 0, "override campaign seed")
 		workers  = flag.Int("workers", 0, "parallel (combination × technique) evaluation tasks (0 = GOMAXPROCS, 1 = sequential)")
+		sweep    = flag.String("scenarios", "", "run the cross-scenario sweep instead of the figures: comma list of presets or \"all\"")
+		sweepOut = flag.String("sweep-out", "", "also write the cross-scenario table to this file")
+		list     = flag.Bool("list-scenarios", false, "list the registered scenario presets and exit")
 	)
 	flag.Parse()
+
+	if *list {
+		for _, s := range scenario.All() {
+			fmt.Printf("%-20s %s\n", s.Name, s.Description)
+		}
+		return
+	}
 
 	p := experiments.DefaultParams()
 	if *paper {
@@ -60,6 +72,16 @@ func main() {
 	}
 	if *workers > 0 {
 		p.Workers = *workers
+	}
+
+	if *sweep != "" {
+		if *campaign != "" {
+			fatal(fmt.Errorf("-scenarios generates one campaign per scenario and cannot evaluate a stored file; drop -campaign"))
+		}
+		if err := runSweep(p, *sweep, *sweepOut); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	want := map[string]bool{}
@@ -138,6 +160,33 @@ func main() {
 	if all || want["ablations"] {
 		runAblations(e)
 	}
+}
+
+// runSweep evaluates the named scenarios (or every registered preset) with
+// the sweep technique set and prints the per-scenario MSE/availability/PER
+// table, optionally duplicating it to a file (the CI build artifact).
+func runSweep(p experiments.Params, names, outPath string) error {
+	var selected []string
+	if strings.TrimSpace(strings.ToLower(names)) != "all" {
+		for _, n := range strings.Split(names, ",") {
+			selected = append(selected, strings.TrimSpace(n))
+		}
+	}
+	start := time.Now()
+	results, err := experiments.NewSweepEngine(p).EvaluateScenarios(selected, nil)
+	if err != nil {
+		return err
+	}
+	table := experiments.RenderScenarioTable(results, nil)
+	fmt.Println(table)
+	fmt.Printf("(cross-scenario sweep completed in %.1fs)\n", time.Since(start).Seconds())
+	if outPath != "" {
+		if err := os.WriteFile(outPath, []byte(table+"\n"), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	return nil
 }
 
 // engineFromFile streams a stored campaign into an engine: the reader

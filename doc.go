@@ -11,5 +11,8 @@
 // the trained CNN into a long-running multi-link estimation service —
 // batched inference behind a bounded drop-oldest frame queue, serving
 // freshest-wins channel estimates to concurrent link sessions over
-// HTTP/JSON (the paper's §6.6 real-time argument as infrastructure).
+// HTTP/JSON (the paper's §6.6 real-time argument as infrastructure), and
+// internal/scenario generalizes the paper's single-walker world into a
+// registry of named presets — multi-occupant crowds, empty rooms, SNR and
+// mobility extremes — swept end to end by vvd-eval -scenarios.
 package vvd

@@ -1,7 +1,7 @@
 // Package camera simulates the RGB-D surveillance camera of the paper's
 // testbed (a wall-mounted Stereolabs ZED at 30 fps): a pinhole depth
-// renderer over the room geometry (walls, static furniture boxes, the
-// mobile human cylinder), the Fig. 7 preprocessing pipeline (downsample by
+// renderer over the room geometry (walls, static furniture boxes, one
+// cylinder per mobile occupant), the Fig. 7 preprocessing pipeline (downsample by
 // 10, crop to 50×90) and the LED-blink frame↔packet synchronization.
 package camera
 
@@ -183,11 +183,21 @@ func New(r *room.Room, hfovDeg float64) *Camera {
 // human at the given position. The static scene depth is precomputed, so
 // each render costs one cylinder intersection per pixel.
 func (c *Camera) Render(h room.Human) *Depth {
+	return c.RenderMulti([]room.Human{h})
+}
+
+// RenderMulti renders the room with any number of occupants: every body's
+// cylinder competes for the nearest hit along each ray, so occupants
+// occlude each other (and the furniture) correctly. One occupant is
+// pixel-identical to Render; none renders the static background.
+func (c *Camera) RenderMulti(hs []room.Human) *Depth {
 	img := NewDepth(NativeRows, NativeCols)
 	for i, dir := range c.dirs {
 		best := c.bg[i]
-		if t, ok := rayCylinder(c.Pos, dir, h); ok && t < best {
-			best = t
+		for _, h := range hs {
+			if t, ok := rayCylinder(c.Pos, dir, h); ok && t < best {
+				best = t
+			}
 		}
 		img.Pix[i] = float32(best)
 	}
@@ -198,6 +208,12 @@ func (c *Camera) Render(h room.Human) *Depth {
 // the rays inside the crop window (pixel-identical to Render followed by
 // Crop, without the native-resolution intermediate).
 func (c *Camera) RenderPreprocessed(h room.Human) *Depth {
+	return c.RenderPreprocessedMulti([]room.Human{h})
+}
+
+// RenderPreprocessedMulti is RenderMulti with the Fig. 7 crop applied
+// (pixel-identical to RenderMulti followed by Crop).
+func (c *Camera) RenderPreprocessedMulti(hs []room.Human) *Depth {
 	out := NewDepth(CropRows, CropCols)
 	for r := 0; r < CropRows; r++ {
 		src := (CropTop+r)*NativeCols + CropLeft
@@ -205,8 +221,10 @@ func (c *Camera) RenderPreprocessed(h room.Human) *Depth {
 		for col := range dst {
 			i := src + col
 			best := c.bg[i]
-			if t, ok := rayCylinder(c.Pos, c.dirs[i], h); ok && t < best {
-				best = t
+			for _, h := range hs {
+				if t, ok := rayCylinder(c.Pos, c.dirs[i], h); ok && t < best {
+					best = t
+				}
 			}
 			dst[col] = float32(best)
 		}

@@ -1,0 +1,68 @@
+package camera
+
+import (
+	"testing"
+
+	"vvd/internal/room"
+)
+
+// TestRenderMultiSingleMatchesRender pins the single-occupant degenerate
+// cases of the multi-body renderer: one body is pixel-identical to the
+// historical Render/RenderPreprocessed, none is the static background.
+func TestRenderMultiSingleMatchesRender(t *testing.T) {
+	r := room.DefaultLab()
+	c := New(r, 90)
+	h := room.DefaultHuman(room.Vec3{X: 4, Y: 3})
+
+	a := c.Render(h)
+	b := c.RenderMulti([]room.Human{h})
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatalf("pixel %d: Render %g vs RenderMulti %g", i, a.Pix[i], b.Pix[i])
+		}
+	}
+
+	ap := c.RenderPreprocessed(h)
+	bp := c.RenderPreprocessedMulti([]room.Human{h})
+	for i := range ap.Pix {
+		if ap.Pix[i] != bp.Pix[i] {
+			t.Fatalf("cropped pixel %d differs", i)
+		}
+	}
+
+	empty := c.RenderPreprocessedMulti(nil)
+	crop, err := c.RenderMulti(nil).Crop(CropTop, CropLeft, CropRows, CropCols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range empty.Pix {
+		if empty.Pix[i] != crop.Pix[i] {
+			t.Fatalf("empty-room cropped pixel %d differs from background", i)
+		}
+	}
+}
+
+// TestRenderMultiOcclusion renders two bodies at different depths along
+// similar view rays: the image must contain strictly more foreground
+// (nearer-than-background) pixels than either body alone, and every pixel
+// must equal the minimum over the single-body renders (nearest surface
+// wins).
+func TestRenderMultiOcclusion(t *testing.T) {
+	r := room.DefaultLab()
+	c := New(r, 90)
+	near := room.DefaultHuman(room.Vec3{X: 3.2, Y: 2.0})
+	far := room.DefaultHuman(room.Vec3{X: 4.8, Y: 4.2})
+
+	a := c.RenderMulti([]room.Human{near})
+	b := c.RenderMulti([]room.Human{far})
+	both := c.RenderMulti([]room.Human{near, far})
+	for i := range both.Pix {
+		min := a.Pix[i]
+		if b.Pix[i] < min {
+			min = b.Pix[i]
+		}
+		if both.Pix[i] != min {
+			t.Fatalf("pixel %d: two-body render %g, want min of singles %g", i, both.Pix[i], min)
+		}
+	}
+}

@@ -102,6 +102,12 @@ func (m *Model) CIR(h room.Human) []complex128 {
 	return m.ProjectPaths(paths)
 }
 
+// CIRMulti is CIR for any number of occupants (bit-identical to CIR for
+// exactly one, to the empty-room projection for none).
+func (m *Model) CIRMulti(hs []room.Human) []complex128 {
+	return m.ProjectPaths(m.Geometry.PathsMulti(hs))
+}
+
 // ProjectPaths maps explicit paths onto the FIR taps and convolves in the
 // hardware response (truncated back to Taps, keeping the main tap on the
 // same index).
@@ -226,7 +232,20 @@ func (l *Link) TransmitBuf(tx []complex128, h room.Human, buf []complex128) *Rec
 // power of tx (e.g. a cached transmit waveform): it skips the per-call
 // full-waveform power pass. txPower must equal dsp.Power(tx).
 func (l *Link) TransmitBufPow(tx []complex128, txPower float64, h room.Human, buf []complex128) *Reception {
-	cir := l.Model.CIR(h)
+	return l.TransmitMultiBufPow(tx, txPower, []room.Human{h}, buf)
+}
+
+// TransmitMulti is Transmit for any number of occupants: the block-fading
+// CIR reflects every body's blockage, scatter and tail stirring. One
+// occupant reproduces Transmit bit-exactly over the same RNG stream; zero
+// occupants transmits through the empty room.
+func (l *Link) TransmitMulti(tx []complex128, hs []room.Human) *Reception {
+	return l.TransmitMultiBufPow(tx, dsp.Power(tx), hs, nil)
+}
+
+// TransmitMultiBufPow is the multi-occupant TransmitBufPow.
+func (l *Link) TransmitMultiBufPow(tx []complex128, txPower float64, hs []room.Human, buf []complex128) *Reception {
+	cir := l.Model.CIRMulti(hs)
 	n := len(tx) + len(cir) - 1
 	var rx []complex128
 	if cap(buf) >= n {

@@ -1,0 +1,210 @@
+package channel
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"vvd/internal/phy"
+	"vvd/internal/room"
+)
+
+// referenceSinglePaths is a frozen copy of the pre-multi-occupant Paths
+// implementation (single human, human-scatter never shadowed, tail stirred
+// by one body). TestPathsMultiSingleOccupantMatchesReference pins the
+// generalized enumerator against it bit for bit.
+func referenceSinglePaths(g *Geometry, h room.Human) []Path {
+	r := g.Room
+	var paths []Path
+
+	losLen := r.TX.Dist(r.RX)
+	paths = append(paths, Path{
+		Kind:     KindLoS,
+		Length:   losLen,
+		Segments: [][2]room.Vec3{{r.TX, r.RX}},
+		baseAmp:  g.Wavelength / (4 * math.Pi * losLen),
+	})
+
+	for _, pl := range g.planes() {
+		img := mirror(r.TX, pl)
+		dir := r.RX.Sub(img)
+		denom := axisCoord(dir, pl.axis)
+		if math.Abs(denom) < 1e-12 {
+			continue
+		}
+		t := (pl.coord - axisCoord(img, pl.axis)) / denom
+		if t <= 0 || t >= 1 {
+			continue
+		}
+		hit := img.Add(dir.Scale(t))
+		if hit.X < -1e-9 || hit.X > r.Width+1e-9 ||
+			hit.Y < -1e-9 || hit.Y > r.Depth+1e-9 ||
+			hit.Z < -1e-9 || hit.Z > r.Height+1e-9 {
+			continue
+		}
+		length := img.Dist(r.RX)
+		paths = append(paths, Path{
+			Kind:     KindWallReflection,
+			Length:   length,
+			Segments: [][2]room.Vec3{{r.TX, hit}, {hit, r.RX}},
+			baseAmp:  r.WallReflectionLoss * g.Wavelength / (4 * math.Pi * length),
+		})
+	}
+
+	for _, s := range g.Scatterers {
+		d1 := r.TX.Dist(s.Pos)
+		d2 := s.Pos.Dist(r.RX)
+		paths = append(paths, Path{
+			Kind:     KindScatter,
+			Length:   d1 + d2,
+			Segments: [][2]room.Vec3{{r.TX, s.Pos}, {s.Pos, r.RX}},
+			baseAmp:  s.Gain * g.Wavelength / (4 * math.Pi * d1 * d2),
+		})
+	}
+
+	if g.HumanScatterGain > 0 {
+		c := h.Center()
+		d1 := r.TX.Dist(c)
+		d2 := c.Dist(r.RX)
+		paths = append(paths, Path{
+			Kind:     KindHumanScatter,
+			Length:   d1 + d2,
+			Segments: nil, // the historical single-human path had no segments
+			baseAmp:  g.HumanScatterGain * g.Wavelength / (4 * math.Pi * d1 * d2),
+		})
+	}
+
+	losAmp := g.Wavelength / (4 * math.Pi * losLen)
+	for ti := range g.TailClusters {
+		t := &g.TailClusters[ti]
+		paths = append(paths, Path{
+			Kind:     KindDiffuseTail,
+			Length:   losLen + t.ExcessDelay*speedOfLight,
+			Segments: nil,
+			baseAmp:  t.Amp * losAmp,
+			tailGain: t.Gain(&h),
+		})
+	}
+
+	for i := range paths {
+		p := &paths[i]
+		p.Delay = p.Length / speedOfLight
+		block := 1.0
+		if p.Kind != KindHumanScatter && len(p.Segments) > 0 {
+			block = g.blockageFactor(p.Segments, h)
+		}
+		p.Blocked = block
+		phase := -2 * math.Pi * p.Length / g.Wavelength
+		amp := p.baseAmp * block
+		p.Gain = complex(amp*math.Cos(phase), amp*math.Sin(phase))
+		if p.Kind == KindDiffuseTail {
+			p.Gain *= p.tailGain
+		}
+	}
+	return paths
+}
+
+// TestPathsMultiSingleOccupantMatchesReference is the backward-compat
+// property test of the occupancy generalization: over randomized human
+// positions (including points straight on the LoS), the generalized
+// enumerator reproduces the frozen pre-refactor path set bit for bit in
+// every observable field — kind, length, delay, blockage and complex gain.
+func TestPathsMultiSingleOccupantMatchesReference(t *testing.T) {
+	g := NewGeometry(room.DefaultLab(), phy.Wavelength)
+	rng := rand.New(rand.NewPCG(20260728, 42))
+	area := g.Room.MovementArea
+	for trial := 0; trial < 200; trial++ {
+		var pos room.Vec3
+		if trial%4 == 0 {
+			// Force positions on (or near) the direct TX–RX line, where
+			// blockage transitions are sharpest.
+			tt := rng.Float64()
+			pos = g.Room.TX.Add(g.Room.RX.Sub(g.Room.TX).Scale(tt))
+			pos.Z = 0
+			pos.Y += (rng.Float64() - 0.5) * 0.2
+		} else {
+			pos = room.Vec3{
+				X: area.MinX + rng.Float64()*area.Width(),
+				Y: area.MinY + rng.Float64()*area.Height(),
+			}
+		}
+		h := room.DefaultHuman(pos)
+		want := referenceSinglePaths(g, h)
+		for _, got := range [][]Path{g.Paths(h), g.PathsMulti([]room.Human{h})} {
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: %d paths, reference has %d", trial, len(got), len(want))
+			}
+			for i := range want {
+				a, b := got[i], want[i]
+				if a.Kind != b.Kind || a.Length != b.Length || a.Delay != b.Delay ||
+					a.Gain != b.Gain || a.Blocked != b.Blocked {
+					t.Fatalf("trial %d path %d (%v) diverges from pre-refactor reference:\n got  %+v\n want %+v",
+						trial, i, b.Kind, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestPathsMultiNoOccupantsMatchesClear pins the other degenerate case: an
+// empty occupant list is the empty room.
+func TestPathsMultiNoOccupantsMatchesClear(t *testing.T) {
+	g := NewGeometry(room.DefaultLab(), phy.Wavelength)
+	got := g.PathsMulti(nil)
+	want := g.PathsClear()
+	if len(got) != len(want) {
+		t.Fatalf("%d paths vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Gain != want[i].Gain || got[i].Blocked != want[i].Blocked {
+			t.Fatalf("path %d differs from PathsClear", i)
+		}
+	}
+}
+
+// TestPathsMultiCrossOccupantShadowing places occupant B straight on
+// occupant A's TX→body scatter leg: A's re-radiated component must be
+// attenuated by B (but never by A itself), and the direct LoS must be
+// shadowed by both bodies multiplicatively.
+func TestPathsMultiCrossOccupantShadowing(t *testing.T) {
+	g := NewGeometry(room.DefaultLab(), phy.Wavelength)
+	a := room.DefaultHuman(room.Vec3{X: 5, Y: 4.5})
+	// B stands on the segment TX(1,3,1) → A.center(5,4.5,0.9).
+	bOn := room.DefaultHuman(room.Vec3{X: 3, Y: 3.75})
+	bOff := room.DefaultHuman(room.Vec3{X: 5.8, Y: 1.4})
+
+	humanPath := func(paths []Path, owner int) Path {
+		seen := 0
+		for _, p := range paths {
+			if p.Kind == KindHumanScatter {
+				if seen == owner {
+					return p
+				}
+				seen++
+			}
+		}
+		t.Fatalf("no human-scatter path for occupant %d", owner)
+		return Path{}
+	}
+
+	clear := humanPath(g.PathsMulti([]room.Human{a, bOff}), 0)
+	if clear.Blocked != 1 {
+		t.Fatalf("occupant A's scatter path blocked (%g) with B far away", clear.Blocked)
+	}
+	shadowed := humanPath(g.PathsMulti([]room.Human{a, bOn}), 0)
+	if shadowed.Blocked >= clear.Blocked {
+		t.Fatalf("B on A's scatter leg did not attenuate it: %g vs %g", shadowed.Blocked, clear.Blocked)
+	}
+
+	// Two bodies on the LoS shadow it more than either alone.
+	onA := room.DefaultHuman(room.Vec3{X: 3, Y: 3})
+	onB := room.DefaultHuman(room.Vec3{X: 5, Y: 3})
+	one := g.Paths(onA)[0].Blocked
+	both := g.PathsMulti([]room.Human{onA, onB})[0].Blocked
+	if one >= 1 {
+		t.Fatal("single body on the LoS not shadowing")
+	}
+	if math.Abs(both-one*one) > 1e-12 {
+		t.Fatalf("two-body LoS blockage %g, want multiplicative %g", both, one*one)
+	}
+}

@@ -58,6 +58,10 @@ type Path struct {
 	// tailGain is the extra complex factor of diffuse-tail paths (1 for
 	// specular paths).
 	tailGain complex128
+	// owner is the occupant index whose body re-radiates this path
+	// (KindHumanScatter), or -1: a body never shadows its own scatter path,
+	// but it does shadow every other occupant's.
+	owner int
 }
 
 // speedOfLight in m/s.
@@ -162,7 +166,19 @@ func axisCoord(p room.Vec3, axis int) float64 {
 // Paths enumerates LoS, first-order surface reflections and scatterer
 // bounces between TX and RX, applying human blockage to every segment.
 func (g *Geometry) Paths(h room.Human) []Path {
-	return g.paths(&h)
+	return g.paths([]room.Human{h})
+}
+
+// PathsMulti enumerates the same paths with any number of occupants in the
+// room: blockage multiplies over every body crossing a segment, each
+// occupant contributes its own body-scatter component (shadowed by the
+// *other* occupants, never by itself), and the diffuse tail is stirred by
+// the superposition of all occupants' fields. With exactly one occupant the
+// result is bit-identical to Paths (pinned by
+// TestPathsMultiSingleOccupantMatchesReference); with none it equals
+// PathsClear.
+func (g *Geometry) PathsMulti(hs []room.Human) []Path {
+	return g.paths(hs)
 }
 
 // PathsClear enumerates the same paths with no human in the room (the
@@ -172,12 +188,12 @@ func (g *Geometry) PathsClear() []Path {
 	return g.paths(nil)
 }
 
-func (g *Geometry) paths(h *room.Human) []Path {
+func (g *Geometry) paths(hs []room.Human) []Path {
 	r := g.Room
-	paths := make([]Path, 0, 16)
+	paths := make([]Path, 0, 16+len(hs))
 	// One backing array for every path's blockage polyline (full-capacity
 	// subslices, so a later grow cannot alias an earlier path's segments).
-	segbuf := make([][2]room.Vec3, 0, 24)
+	segbuf := make([][2]room.Vec3, 0, 24+2*len(hs))
 	seg2 := func(a, b, c, d room.Vec3) [][2]room.Vec3 {
 		start := len(segbuf)
 		segbuf = append(segbuf, [2]room.Vec3{a, b}, [2]room.Vec3{c, d})
@@ -193,6 +209,7 @@ func (g *Geometry) paths(h *room.Human) []Path {
 		Length:   losLen,
 		Segments: segbuf[start:len(segbuf):len(segbuf)],
 		baseAmp:  g.Wavelength / (4 * math.Pi * losLen),
+		owner:    -1,
 	}
 	paths = append(paths, los)
 
@@ -221,6 +238,7 @@ func (g *Geometry) paths(h *room.Human) []Path {
 			Length:   length,
 			Segments: seg2(r.TX, hit, hit, r.RX),
 			baseAmp:  r.WallReflectionLoss * g.Wavelength / (4 * math.Pi * length),
+			owner:    -1,
 		})
 	}
 
@@ -234,23 +252,29 @@ func (g *Geometry) paths(h *room.Human) []Path {
 			Length:   d1 + d2,
 			Segments: seg2(r.TX, s.Pos, s.Pos, r.RX),
 			baseAmp:  s.Gain * g.Wavelength / (4 * math.Pi * d1 * d2),
+			owner:    -1,
 		})
 	}
 
-	// Human body scattering: the person is itself a (moving) reflector.
-	if h != nil && g.HumanScatterGain > 0 {
-		c := h.Center()
-		d1 := r.TX.Dist(c)
-		d2 := c.Dist(r.RX)
-		paths = append(paths, Path{
-			Kind:     KindHumanScatter,
-			Length:   d1 + d2,
-			Segments: nil, // never shadowed by itself
-			baseAmp:  g.HumanScatterGain * g.Wavelength / (4 * math.Pi * d1 * d2),
-		})
+	// Human body scattering: each occupant is itself a (moving) reflector.
+	// An occupant's two-leg path can be shadowed by any *other* occupant
+	// crossing it (owner excludes the body from its own blockage test).
+	if g.HumanScatterGain > 0 {
+		for i := range hs {
+			c := hs[i].Center()
+			d1 := r.TX.Dist(c)
+			d2 := c.Dist(r.RX)
+			paths = append(paths, Path{
+				Kind:     KindHumanScatter,
+				Length:   d1 + d2,
+				Segments: seg2(r.TX, c, c, r.RX),
+				baseAmp:  g.HumanScatterGain * g.Wavelength / (4 * math.Pi * d1 * d2),
+				owner:    i,
+			})
+		}
 	}
 
-	// Diffuse excess-delay tail, stirred by the human's position.
+	// Diffuse excess-delay tail, stirred by every occupant's position.
 	losAmp := g.Wavelength / (4 * math.Pi * losLen)
 	for ti := range g.TailClusters {
 		t := &g.TailClusters[ti]
@@ -259,17 +283,25 @@ func (g *Geometry) paths(h *room.Human) []Path {
 			Length:   losLen + t.ExcessDelay*speedOfLight,
 			Segments: nil, // diffuse: not shadowed as a single ray
 			baseAmp:  t.Amp * losAmp,
-			tailGain: t.Gain(h),
+			tailGain: t.GainMulti(hs),
+			owner:    -1,
 		})
 	}
 
-	// Carrier phase + blockage.
+	// Carrier phase + blockage. Blockage multiplies over occupants in index
+	// order (shadowing bodies attenuate independently); a path's owning body
+	// never shadows its own re-radiation.
 	for i := range paths {
 		p := &paths[i]
 		p.Delay = p.Length / speedOfLight
 		block := 1.0
-		if h != nil && len(p.Segments) > 0 {
-			block = g.blockageFactor(p.Segments, *h)
+		if len(p.Segments) > 0 {
+			for j := range hs {
+				if j == p.owner {
+					continue
+				}
+				block *= g.blockageFactor(p.Segments, hs[j])
+			}
 		}
 		p.Blocked = block
 		phase := -2 * math.Pi * p.Length / g.Wavelength

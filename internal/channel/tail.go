@@ -57,6 +57,24 @@ func (t *TailCluster) Gain(h *room.Human) complex128 {
 	return t.Static + complex(t.Stir, 0)*t.Field(h.Pos.X, h.Pos.Y)
 }
 
+// GainMulti is Gain for any number of occupants: the stirred components of
+// all bodies superpose (each body perturbs the diffuse field independently;
+// their contributions add coherently). One occupant reproduces Gain
+// bit-exactly; none yields the static (empty-room) component.
+func (t *TailCluster) GainMulti(hs []room.Human) complex128 {
+	if len(hs) == 0 || t.Stir == 0 {
+		return t.Static
+	}
+	if len(hs) == 1 {
+		return t.Static + complex(t.Stir, 0)*t.Field(hs[0].Pos.X, hs[0].Pos.Y)
+	}
+	var sum complex128
+	for i := range hs {
+		sum += t.Field(hs[i].Pos.X, hs[i].Pos.Y)
+	}
+	return t.Static + complex(t.Stir, 0)*sum
+}
+
 // DefaultTailClusters builds four clusters at one to four sample periods of
 // excess delay (125–500 ns at 8 MHz), with amplitudes decaying like an
 // exponential power-delay profile. The spatial fields are deterministic

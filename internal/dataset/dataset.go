@@ -1,9 +1,11 @@
 // Package dataset generates and organizes the measurement campaign the
 // paper collected on its testbed: 15 measurement sets ("takes") of packets
-// transmitted every 100 ms while a human walks through the room, each
-// packet synchronized (LED blink) with the depth-camera frame stream, plus
-// the Table 2 train/validation/test set combinations and the CIR
-// normalization used for the ML targets.
+// transmitted every 100 ms while people walk through the room (the paper's
+// single human, a collision-avoiding crowd, or nobody — see
+// Config.Occupants and internal/scenario), each packet synchronized (LED
+// blink) with the depth-camera frame stream, plus the Table 2
+// train/validation/test set combinations and the CIR normalization used
+// for the ML targets.
 //
 // Waveforms are not stored: every packet records the RNG seed of its link
 // realization, so receptions can be regenerated bit-exactly on demand.
@@ -59,6 +61,18 @@ type Config struct {
 	// efficiency when non-zero (how strongly the person's body itself
 	// contributes a moving multipath component).
 	HumanScatterGain float64
+	// Scenario names the registered preset this configuration was derived
+	// from (internal/scenario), purely as provenance: the fields above carry
+	// everything generation needs, so the label round-trips through the
+	// store header and survives into reports without being re-resolved.
+	Scenario string `json:",omitempty"`
+	// Occupants is the number of people walking the room: 0 keeps the
+	// paper's single human (the zero value of every pre-scenario campaign),
+	// N > 1 puts N collision-avoiding walkers in the movement area, and -1
+	// empties the room entirely (static channel, background-only frames).
+	// With Scripted set, occupant 0 follows the deterministic diagonal and
+	// the remaining occupants walk randomly around it.
+	Occupants int `json:",omitempty"`
 	// Workers bounds the goroutines generating packets (and rendering
 	// their camera frames); 0 means one per core, 1 means sequential,
 	// matching the evaluation engine's knob. The generated campaign is
@@ -90,8 +104,14 @@ type Packet struct {
 	Index    int       // packet index within the set
 	Time     float64   // transmit time within the take (seconds)
 	SeqNum   byte      // 802.15.4 sequence number
-	Pos      room.Vec3 // human position during the synchronized frame
+	Pos      room.Vec3 // first occupant's position during the synchronized frame
 	LinkSeed uint64    // seed of the link realization
+
+	// Others holds the positions of occupants beyond the first (nil for the
+	// paper's single-human campaigns and for the empty room), so receptions
+	// of multi-occupant campaigns regenerate bit-exactly from the packet
+	// record alone.
+	Others []room.Vec3
 
 	TrueCIR        []complex128 // oracle: the block-fading CIR applied
 	Perfect        []complex128 // LS estimate over the whole packet ("Ground Truth")
@@ -185,6 +205,34 @@ func (tc *txCache) get(seq byte) (*txVariant, error) {
 // ImagePixels is the flattened size of one preprocessed depth image.
 const ImagePixels = camera.CropRows * camera.CropCols
 
+// NumOccupants resolves the Occupants knob: 0 (the pre-scenario zero value)
+// means the paper's single human, negative values mean an empty room.
+func (c Config) NumOccupants() int {
+	switch {
+	case c.Occupants < 0:
+		return 0
+	case c.Occupants == 0:
+		return 1
+	}
+	return c.Occupants
+}
+
+// Bodies reconstructs the occupant bodies present while the packet was
+// received: the first occupant at Pos plus one per entry of Others, or none
+// for an empty-room campaign. The result feeds the multi-occupant channel
+// and camera paths during regeneration.
+func (p *Packet) Bodies(cfg Config) []room.Human {
+	if cfg.NumOccupants() == 0 {
+		return nil
+	}
+	hs := make([]room.Human, 1+len(p.Others))
+	hs[0] = room.DefaultHuman(p.Pos)
+	for i, o := range p.Others {
+		hs[i+1] = room.DefaultHuman(o)
+	}
+	return hs
+}
+
 // NewShell builds the simulation environment of a campaign — room,
 // geometry, channel model, receiver, camera and reference CIR — exactly as
 // Generate does, but with no measurement sets. Every configuration field
@@ -195,6 +243,9 @@ const ImagePixels = camera.CropRows * camera.CropCols
 func NewShell(cfg Config) (*Campaign, error) {
 	if cfg.PSDULen < 4 || cfg.PSDULen > phy.MaxPSDU {
 		return nil, fmt.Errorf("dataset: PSDU length %d outside [4,%d]", cfg.PSDULen, phy.MaxPSDU)
+	}
+	if cfg.Occupants > maxOccupants {
+		return nil, fmt.Errorf("dataset: %d occupants (max %d)", cfg.Occupants, maxOccupants)
 	}
 	lab := room.DefaultLab()
 	g := channel.NewGeometry(lab, phy.Wavelength)
@@ -216,13 +267,17 @@ func NewShell(cfg Config) (*Campaign, error) {
 }
 
 // setPlan holds the precomputed, deterministic per-set state packets draw
-// from: the frame-resolution trajectory, each packet's LED-synchronized
-// frame index, and the memoized frame renders.
+// from: the frame-resolution trajectories of every occupant, each packet's
+// LED-synchronized frame index, and the memoized frame renders.
 type setPlan struct {
-	seed     uint64
-	framePos []room.Vec3
-	frames   []int // per-packet LED frame index
-	renders  []frameRender
+	seed uint64
+	// framePos[f] lists the occupant positions at frame f (occupant 0
+	// first; empty for an empty-room campaign); frameHumans[f] is the same
+	// frame as ready-made bodies for the channel and camera.
+	framePos    [][]room.Vec3
+	frameHumans [][]room.Human
+	frames      []int // per-packet LED frame index
+	renders     []frameRender
 }
 
 // frameRender memoizes one camera frame: packets at the three image lags
@@ -238,29 +293,70 @@ type frameRender struct {
 func (p *setPlan) framePix(c *Campaign, f int) []float32 {
 	r := &p.renders[f]
 	r.once.Do(func() {
-		img := c.Camera.RenderPreprocessed(room.DefaultHuman(p.framePos[f]))
+		img := c.Camera.RenderPreprocessedMulti(p.frameHumans[f])
 		r.pix = img.NormalizedF32(c.Camera.MaxRange)
 	})
 	return r.pix
 }
 
-// planSet precomputes the trajectory and frame indices of one set.
+// planSet precomputes the trajectories and frame indices of one set.
+//
+// Occupant 0 reuses the exact random stream of the pre-scenario single
+// walker (the per-occupant seed derivation is the identity at i = 0), so
+// single-occupant campaigns are bit-identical to campaigns generated before
+// occupancy existed. Further occupants draw from independent streams and
+// step through a collision-avoiding room.Crowd.
 func planSet(c *Campaign, s int) *setPlan {
 	cfg := c.Cfg
+	occ := cfg.NumOccupants()
 	setSeed := cfg.Seed + uint64(s)*1_000_003
 	// Simulate the take at camera frame resolution.
 	nFrames := int(float64(cfg.PacketsPerSet)*PacketInterval*camera.FrameRate) + 8
-	framePos := make([]room.Vec3, nFrames)
-	if cfg.Scripted {
+	flatPos := make([]room.Vec3, nFrames*occ)
+	framePos := make([][]room.Vec3, nFrames)
+	for f := range framePos {
+		framePos[f] = flatPos[f*occ : (f+1)*occ : (f+1)*occ]
+	}
+	occRNG := func(i int) *rand.Rand {
+		oseed := setSeed + uint64(i)*0x9E3779B97F4A7C15
+		return rand.New(rand.NewPCG(oseed, oseed^0x5bd1e995))
+	}
+	switch {
+	case occ == 0:
+		// Empty room: no trajectories to simulate.
+	case cfg.Scripted:
 		pts := room.ScriptedPath(c.Room.MovementArea, nFrames, camera.FrameInterval, 1.1)
 		for f := range framePos {
-			framePos[f] = pts[f].Pos
+			framePos[f][0] = pts[f].Pos
 		}
-	} else {
-		walker := room.NewWalker(c.Room.MovementArea, cfg.Mobility, rand.New(rand.NewPCG(setSeed, setSeed^0x5bd1e995)))
+		if occ > 1 {
+			crowd := room.NewCrowd(c.Room.MovementArea, cfg.Mobility, occ-1,
+				func(i int) *rand.Rand { return occRNG(i + 1) }, 0)
+			// The scripted occupant is not steered by the crowd; the
+			// random walkers yield to it where their slower walking
+			// dynamics allow (it can still brush past them).
+			crowd.Obstacles = make([]room.Vec3, 1)
+			for f := range framePos {
+				crowd.Obstacles[0] = pts[f].Pos
+				crowd.Step(camera.FrameInterval)
+				framePos[f] = crowd.Positions(framePos[f][:1])
+			}
+		}
+	default:
+		crowd := room.NewCrowd(c.Room.MovementArea, cfg.Mobility, occ, occRNG, 0)
 		for f := range framePos {
-			framePos[f] = walker.Step(camera.FrameInterval)
+			crowd.Step(camera.FrameInterval)
+			framePos[f] = crowd.Positions(framePos[f][:0])
 		}
+	}
+	flatHum := make([]room.Human, nFrames*occ)
+	frameHumans := make([][]room.Human, nFrames)
+	for f := range frameHumans {
+		hf := flatHum[f*occ : (f+1)*occ : (f+1)*occ]
+		for i := range hf {
+			hf[i] = room.DefaultHuman(framePos[f][i])
+		}
+		frameHumans[f] = hf
 	}
 	sync := camera.NewSynchronizer()
 	frames := make([]int, cfg.PacketsPerSet)
@@ -271,7 +367,7 @@ func planSet(c *Campaign, s int) *setPlan {
 		}
 		frames[k] = frame
 	}
-	return &setPlan{seed: setSeed, framePos: framePos, frames: frames, renders: make([]frameRender, nFrames)}
+	return &setPlan{seed: setSeed, framePos: framePos, frameHumans: frameHumans, frames: frames, renders: make([]frameRender, nFrames)}
 }
 
 // genWorker carries one generation goroutine's reusable state: the
@@ -296,7 +392,15 @@ func (g *genWorker) packet(plan *setPlan, s, k int) error {
 	cfg := c.Cfg
 	t := float64(k+1) * PacketInterval
 	frame := plan.frames[k]
-	pos := plan.framePos[frame]
+	humans := plan.frameHumans[frame]
+	var pos room.Vec3
+	var others []room.Vec3
+	if len(humans) > 0 {
+		pos = plan.framePos[frame][0]
+		if rest := plan.framePos[frame][1:]; len(rest) > 0 {
+			others = append([]room.Vec3(nil), rest...)
+		}
+	}
 	seq := byte(k % 256)
 	linkSeed := plan.seed*31 + uint64(k)*2_654_435_761
 	tv, err := c.tx.get(seq)
@@ -305,7 +409,7 @@ func (g *genWorker) packet(plan *setPlan, s, k int) error {
 	}
 	g.pcg.Seed(linkSeed, linkSeed^0x9e3779b9)
 	link := channel.NewLink(c.Model, cfg.Imp, g.rng)
-	rec := link.TransmitBufPow(tv.wave, tv.power, room.DefaultHuman(pos), g.waveBuf)
+	rec := link.TransmitMultiBufPow(tv.wave, tv.power, humans, g.waveBuf)
 	g.waveBuf = rec.Waveform
 	rxc, _ := c.Receiver.CorrectCFOInPlace(rec.Waveform)
 	detected, peak, _ := c.Receiver.DetectPreamble(rxc)
@@ -322,6 +426,7 @@ func (g *genWorker) packet(plan *setPlan, s, k int) error {
 		Time:             t,
 		SeqNum:           seq,
 		Pos:              pos,
+		Others:           others,
 		LinkSeed:         linkSeed,
 		TrueCIR:          rec.TrueCIR,
 		Perfect:          perfect,
@@ -487,7 +592,7 @@ func (c *Campaign) ReceptionPacket(pkt *Packet) (*phy.PPDU, []complex128, []byte
 		}
 	}
 	link := channel.NewLink(c.Model, c.Cfg.Imp, rand.New(rand.NewPCG(pkt.LinkSeed, pkt.LinkSeed^0x9e3779b9)))
-	rec := link.Transmit(wave, room.DefaultHuman(pkt.Pos))
+	rec := link.TransmitMulti(wave, pkt.Bodies(c.Cfg))
 	return ppdu, wave, chips, rec, nil
 }
 

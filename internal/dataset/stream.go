@@ -4,7 +4,8 @@
 //
 //	header:
 //	  u32  magic "VVD2" (0x32445656)
-//	  u32  format version (currently 2)
+//	  u32  format version (currently 3; v2 files remain readable — they
+//	       differ only in lacking the per-packet extra-occupant positions)
 //	  u32  config length N
 //	  N    bytes: the complete Config as JSON (self-describing: every
 //	       field that shapes reception regeneration travels with the file)
@@ -46,6 +47,8 @@ import (
 	"math"
 	"slices"
 	"unsafe"
+
+	"vvd/internal/room"
 )
 
 // nativeLittleEndian reports whether this machine's memory order matches
@@ -72,11 +75,16 @@ func c128Bytes(v []complex128) []byte {
 	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 16*len(v))
 }
 
-// campaignMagicV2 identifies the v2 container ("VVD2").
+// campaignMagicV2 identifies the v2 container family ("VVD2"). Versions 2
+// and 3 share this magic; the header's version field selects the payload
+// layout (v3 added per-packet extra-occupant positions).
 const campaignMagicV2 = 0x32445656
 
 // campaignVersion is the layout revision written by Save.
-const campaignVersion = 2
+const campaignVersion = 3
+
+// minReadVersion is the oldest VVD2-family layout this build decodes.
+const minReadVersion = 2
 
 // Decoder sanity limits: corrupt or hostile length fields are rejected
 // before any allocation larger than these bounds.
@@ -87,6 +95,7 @@ const (
 	maxSets          = 65535      // sets per campaign
 	maxSetPayload    = 1 << 30    // bytes of one set's encoded packets
 	maxConfigJSON    = 1 << 20    // bytes of the serialized Config
+	maxOccupants     = 64         // occupants per campaign (Config + per-packet positions)
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -240,8 +249,8 @@ func OpenCampaign(r io.Reader) (*Reader, error) {
 	hdr = append(hdr, fixed[:]...)
 	version := binary.LittleEndian.Uint32(fixed[0:])
 	cfgLen := binary.LittleEndian.Uint32(fixed[4:])
-	if version != campaignVersion {
-		return nil, fmt.Errorf("dataset: campaign format version %d (this build reads %d) — written by a newer tool?", version, campaignVersion)
+	if version < minReadVersion || version > campaignVersion {
+		return nil, fmt.Errorf("dataset: campaign format version %d (this build reads %d-%d) — written by a newer tool?", version, minReadVersion, campaignVersion)
 	}
 	if cfgLen > maxConfigJSON {
 		return nil, fmt.Errorf("dataset: implausible config length %d", cfgLen)
@@ -268,10 +277,10 @@ func OpenCampaign(r io.Reader) (*Reader, error) {
 	if err := json.Unmarshal(cfgJSON, &cfg); err != nil {
 		return nil, fmt.Errorf("dataset: decoding campaign config: %w", err)
 	}
-	return &Reader{br: br, version: campaignVersion, cfg: cfg, numSets: int(numSets)}, nil
+	return &Reader{br: br, version: int(version), cfg: cfg, numSets: int(numSets)}, nil
 }
 
-// Version reports the on-disk format version (1 or 2).
+// Version reports the on-disk format version (1, 2 or 3).
 func (r *Reader) Version() int { return r.version }
 
 // Config returns the stored campaign configuration.
@@ -376,7 +385,7 @@ func (r *Reader) decodeBody(hdr setHeader) (*Set, error) {
 	set := &Set{Index: hdr.index, Packets: make([]Packet, hdr.packets)}
 	cur := cursor{data: payload, alias: alias}
 	for k := range set.Packets {
-		if err := decodePacket(&cur, &set.Packets[k]); err != nil {
+		if err := decodePacket(&cur, &set.Packets[k], r.version); err != nil {
 			return nil, fmt.Errorf("dataset: set %d packet %d: %w", hdr.index, k, err)
 		}
 	}
@@ -664,7 +673,22 @@ func appendImage(b []byte, img []float32) ([]byte, error) {
 	return b, nil
 }
 
-// appendPacket encodes one packet into b.
+// appendOthers encodes the extra-occupant positions introduced by format
+// v3: a count prefix plus three float64 coordinates per occupant.
+func appendOthers(b []byte, others []room.Vec3) ([]byte, error) {
+	if len(others) > maxOccupants-1 {
+		return nil, fmt.Errorf("packet records %d extra occupants (max %d)", len(others), maxOccupants-1)
+	}
+	b = appendU32(b, uint32(len(others)))
+	for _, o := range others {
+		b = appendF64(b, o.X)
+		b = appendF64(b, o.Y)
+		b = appendF64(b, o.Z)
+	}
+	return b, nil
+}
+
+// appendPacket encodes one packet into b (always in the newest layout).
 func appendPacket(b []byte, p *Packet) ([]byte, error) {
 	b = appendU32(b, uint32(p.Index))
 	b = appendU32(b, uint32(p.SeqNum))
@@ -678,6 +702,9 @@ func appendPacket(b []byte, p *Packet) ([]byte, error) {
 		b = appendF64(b, f)
 	}
 	var err error
+	if b, err = appendOthers(b, p.Others); err != nil {
+		return nil, err
+	}
 	for _, vec := range [...][]complex128{p.TrueCIR, p.Perfect, p.PerfectAligned, p.PreambleEst} {
 		if b, err = appendCVec(b, vec); err != nil {
 			return nil, err
@@ -793,6 +820,39 @@ func (c *cursor) cvec() ([]complex128, error) {
 	return out, nil
 }
 
+// others decodes the extra-occupant positions of a v3 packet. The bound on
+// the count caps the allocation at a few hundred bytes; like every cursor
+// read, the coordinate bytes are length-checked before use, so a corrupt
+// count cannot over-allocate.
+func (c *cursor) others() ([]room.Vec3, error) {
+	n, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if n > maxOccupants-1 {
+		return nil, fmt.Errorf("implausible occupant count %d", n)
+	}
+	out := make([]room.Vec3, n)
+	for i := range out {
+		if out[i].X, err = c.f64(); err != nil {
+			return nil, err
+		}
+		if out[i].Y, err = c.f64(); err != nil {
+			return nil, err
+		}
+		if out[i].Z, err = c.f64(); err != nil {
+			return nil, err
+		}
+		if math.IsNaN(out[i].X) || math.IsNaN(out[i].Y) || math.IsNaN(out[i].Z) {
+			return nil, fmt.Errorf("NaN in stored occupant position")
+		}
+	}
+	return out, nil
+}
+
 func (c *cursor) image() ([]float32, error) {
 	n, err := c.u32()
 	if err != nil {
@@ -825,8 +885,9 @@ func (c *cursor) image() ([]float32, error) {
 	return out, nil
 }
 
-// decodePacket mirrors appendPacket.
-func decodePacket(c *cursor, p *Packet) error {
+// decodePacket mirrors appendPacket; version selects the layout (v2
+// payloads predate the extra-occupant positions).
+func decodePacket(c *cursor, p *Packet, version int) error {
 	idx, err := c.u32()
 	if err != nil {
 		return err
@@ -852,6 +913,11 @@ func decodePacket(c *cursor, p *Packet) error {
 		}
 	}
 	p.Time, p.Pos.X, p.Pos.Y, p.Pos.Z, p.SyncPeak = f[0], f[1], f[2], f[3], f[4]
+	if version >= 3 {
+		if p.Others, err = c.others(); err != nil {
+			return err
+		}
+	}
 	if p.TrueCIR, err = c.cvec(); err != nil {
 		return err
 	}

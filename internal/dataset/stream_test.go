@@ -3,6 +3,7 @@ package dataset
 import (
 	"bytes"
 	"flag"
+	"fmt"
 	"io"
 	"math"
 	"os"
@@ -212,7 +213,7 @@ func TestStreamNextSetAndEOF(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.Version() != 2 || r.NumSets() != len(orig.Sets) {
+	if r.Version() != 3 || r.NumSets() != len(orig.Sets) {
 		t.Fatalf("header: version %d sets %d", r.Version(), r.NumSets())
 	}
 	if r.Config() != orig.Cfg {
@@ -384,18 +385,76 @@ func TestV2TruncationDetected(t *testing.T) {
 }
 
 func TestV2VersionGate(t *testing.T) {
-	// A header claiming version 3 (with a valid CRC) must be refused with
-	// a version message, not misparsed.
+	// A header claiming a future version must be refused with a version
+	// message, not misparsed.
 	hdr := appendU32(nil, campaignMagicV2)
-	hdr = appendU32(hdr, 3)
+	hdr = appendU32(hdr, campaignVersion+1)
 	hdr = appendU32(hdr, 2)
 	hdr = append(hdr, '{', '}')
 	hdr = appendU32(hdr, 0)
 	hdr = appendU32(hdr, 0xdeadbeef)
 	_, err := OpenCampaign(bytes.NewReader(hdr))
-	if err == nil || !strings.Contains(err.Error(), "version 3") {
+	if err == nil || !strings.Contains(err.Error(), fmt.Sprintf("version %d", campaignVersion+1)) {
 		t.Fatalf("expected version error, got %v", err)
 	}
+	// Version 1 inside the VVD2 magic family is equally unreadable.
+	hdr = appendU32(nil, campaignMagicV2)
+	hdr = appendU32(hdr, 1)
+	hdr = appendU32(hdr, 2)
+	hdr = append(hdr, '{', '}')
+	hdr = appendU32(hdr, 0)
+	hdr = appendU32(hdr, 0xdeadbeef)
+	if _, err := OpenCampaign(bytes.NewReader(hdr)); err == nil || !strings.Contains(err.Error(), "version 1") {
+		t.Fatalf("expected version error, got %v", err)
+	}
+}
+
+// goldenV2Config must stay frozen: testdata/campaign_v2.bin was written by
+// the version-2 codec before the v3 (multi-occupant) layout existed, and is
+// never regenerated — it is the proof that v2 files keep decoding.
+func goldenV2Config() Config {
+	cfg := DefaultConfig()
+	cfg.Sets = 2
+	cfg.PacketsPerSet = 6
+	cfg.PSDULen = 24
+	cfg.Seed = 9
+	cfg.RenderImages = false
+	cfg.HumanScatterGain = 0.3
+	return cfg
+}
+
+// TestV2GoldenFixture decodes the committed v2 fixture and checks it
+// against a freshly generated campaign of the same configuration: the v2
+// payload layout stays readable, and single-occupant generation reproduces
+// the pre-multi-occupant packets bit for bit (the acceptance bound of the
+// occupancy generalization).
+func TestV2GoldenFixture(t *testing.T) {
+	path := filepath.Join("testdata", "campaign_v2.bin")
+	cfg := goldenV2Config()
+	want, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenCampaign(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Version() != 2 {
+		t.Fatalf("fixture version = %d, want 2", r.Version())
+	}
+	loaded, err := r.ReadSets(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Cfg != cfg {
+		t.Fatalf("fixture config = %+v, want %+v", loaded.Cfg, cfg)
+	}
+	comparePackets(t, want, loaded)
+	compareReception(t, want, loaded, 2, 1)
 }
 
 func TestWriterMisuse(t *testing.T) {

@@ -356,7 +356,7 @@ func (e *Engine) evaluateTechnique(run *comboRun, name string) (*metrics.Counter
 			case Unavailable:
 				// Technique unavailable (e.g. preamble missed): the packet
 				// is assumed erroneous; no chips or MSE counted.
-				c.AddPacket(false, 0, 0)
+				c.AddUnavailable()
 			case Available:
 				pp, err := run.prepared(k)
 				if err != nil {

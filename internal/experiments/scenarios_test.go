@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"vvd/internal/core"
+	"vvd/internal/dataset"
+)
+
+func sweepParams(workers int) Params {
+	cfg := dataset.DefaultConfig()
+	cfg.Sets = 3
+	cfg.PacketsPerSet = 10
+	cfg.PSDULen = 24
+	cfg.Seed = 99
+	train := core.DefaultTrainConfig()
+	train.Epochs = 2
+	return Params{Campaign: cfg, Combos: 1, Train: train, SkipPackets: 2, Workers: workers}
+}
+
+// TestEvaluateScenariosParallelMatchesSequential pins the acceptance bound
+// of the scenario engine: the crowded-room-4 sweep is byte-identical at
+// Workers=1 and Workers=8 — generation, training and evaluation all
+// included. Run under -race in CI it doubles as the race check over the
+// multi-occupant pipeline end to end.
+func TestEvaluateScenariosParallelMatchesSequential(t *testing.T) {
+	techniques := []string{core.TechPreamble, core.TechKalmanAR5, core.TechVVDCurrent}
+	names := []string{"crowded-room-4", "empty-room"}
+	seq, err := NewSweepEngine(sweepParams(1)).EvaluateScenarios(names, techniques)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewSweepEngine(sweepParams(8)).EvaluateScenarios(names, techniques)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("result counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Name != par[i].Name || seq[i].Occupants != par[i].Occupants {
+			t.Fatalf("scenario %d metadata differs", i)
+		}
+		if !reflect.DeepEqual(seq[i].Results, par[i].Results) {
+			t.Fatalf("scenario %s: counters differ between workers=1 and workers=8", seq[i].Name)
+		}
+	}
+}
+
+// TestScenarioSweepSummaryAndTable sanity-checks the aggregation and the
+// rendered table: every requested technique appears, availability is a
+// fraction, and the table names each scenario.
+func TestScenarioSweepSummaryAndTable(t *testing.T) {
+	techniques := []string{core.TechPreamble, core.TechKalmanAR5}
+	results, err := NewSweepEngine(sweepParams(0)).EvaluateScenarios([]string{"paper-default", "low-snr"}, techniques)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sr := range results {
+		sum := sr.Summary()
+		for _, tech := range techniques {
+			ts, ok := sum[tech]
+			if !ok {
+				t.Fatalf("%s: technique %q missing from summary", sr.Name, tech)
+			}
+			if ts.Availability < 0 || ts.Availability > 1 {
+				t.Fatalf("%s/%s: availability %g outside [0,1]", sr.Name, tech, ts.Availability)
+			}
+			if ts.PER < 0 || ts.PER > 1 {
+				t.Fatalf("%s/%s: PER %g outside [0,1]", sr.Name, tech, ts.PER)
+			}
+		}
+	}
+	table := RenderScenarioTable(results, techniques)
+	for _, want := range []string{"paper-default", "low-snr", core.TechPreamble} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+// TestEvaluateScenariosUnknownName surfaces a typo before any generation.
+func TestEvaluateScenariosUnknownName(t *testing.T) {
+	_, err := NewSweepEngine(sweepParams(1)).EvaluateScenarios([]string{"nope"}, []string{core.TechPreamble})
+	if err == nil || !strings.Contains(err.Error(), "unknown scenario") {
+		t.Fatalf("expected unknown-scenario error, got %v", err)
+	}
+}

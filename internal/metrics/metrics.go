@@ -19,6 +19,10 @@ type Counter struct {
 	PacketErrs int
 	Chips      int
 	ChipErrs   int
+	// Unavail counts the packets the technique could produce no estimate
+	// for at all (e.g. a missed preamble); they are scored as erroneous and
+	// also tracked here so availability can be reported per scenario.
+	Unavail int
 
 	mseSum float64
 	mseN   int
@@ -32,6 +36,23 @@ func (c *Counter) AddPacket(ok bool, chipErrs, chips int) {
 	}
 	c.Chips += chips
 	c.ChipErrs += chipErrs
+}
+
+// AddUnavailable records a packet the technique could not estimate: it
+// counts as an erroneous packet (no chips decoded) and against
+// availability.
+func (c *Counter) AddUnavailable() {
+	c.AddPacket(false, 0, 0)
+	c.Unavail++
+}
+
+// Availability is the fraction of counted packets the technique produced an
+// estimate for (1 when nothing was ever unavailable).
+func (c *Counter) Availability() float64 {
+	if c.Packets == 0 {
+		return 0
+	}
+	return 1 - float64(c.Unavail)/float64(c.Packets)
 }
 
 // AddMSE records the squared estimation error of one packet: Σ_l |h_l −

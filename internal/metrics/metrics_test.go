@@ -22,8 +22,28 @@ func TestCounterRates(t *testing.T) {
 
 func TestCounterEmpty(t *testing.T) {
 	var c Counter
-	if c.PER() != 0 || c.CER() != 0 || c.MSE() != 0 || c.HasMSE() {
+	if c.PER() != 0 || c.CER() != 0 || c.MSE() != 0 || c.HasMSE() || c.Availability() != 0 {
 		t.Fatal("empty counter must report zeros")
+	}
+}
+
+// TestCounterAvailability pins the unavailable-packet accounting: an
+// unavailable packet counts as an erroneous packet with no chips and
+// against availability.
+func TestCounterAvailability(t *testing.T) {
+	var c Counter
+	c.AddPacket(true, 0, 100)
+	c.AddPacket(true, 2, 100)
+	c.AddUnavailable()
+	c.AddPacket(false, 40, 100)
+	if c.Packets != 4 || c.PacketErrs != 2 || c.Unavail != 1 || c.Chips != 300 {
+		t.Fatalf("counter state %+v", c)
+	}
+	if got := c.Availability(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("Availability = %v, want 0.75", got)
+	}
+	if got := c.PER(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("PER = %v, want 0.5", got)
 	}
 }
 

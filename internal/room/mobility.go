@@ -120,6 +120,164 @@ func (w *Walker) Sample(n int, dt float64) []TrajectoryPoint {
 	return pts
 }
 
+// DefaultMinSeparation is the closest two occupants' body axes approach
+// during a crowd walk: two default bodies (0.25 m radius) plus a small
+// personal-space margin.
+const DefaultMinSeparation = 0.7
+
+// Crowd steps several walkers through the shared movement area with
+// collision-free sampling: a walker whose step would bring it within MinSep
+// of another occupant holds its position for that step and re-draws its
+// waypoint, so trajectories never interpenetrate. Each walker owns an
+// independent random stream, and collision handling only ever consumes
+// draws from the walker being stepped — a crowd of one is therefore
+// bit-identical to a bare Walker over the same stream (the pre-multi-
+// occupant trajectory), which is what keeps single-occupant campaigns
+// reproducible across this generalization.
+type Crowd struct {
+	walkers []*Walker
+	// MinSep is the minimum axis-to-axis distance enforced between
+	// occupants (DefaultMinSeparation when NewCrowd is given 0).
+	MinSep float64
+	// Obstacles are extra occupant positions the walkers keep MinSep from
+	// without steering them — e.g. a scripted walker that is not part of
+	// the crowd. The caller updates the slice between Step calls as the
+	// external occupants move.
+	Obstacles []Vec3
+}
+
+// NewCrowd creates n walkers confined to area. rng(i) must return the
+// random source of walker i; sources must be independent. Initial positions
+// are resampled (from the colliding walker's own source) until every pair
+// respects minSep, giving up after a bounded number of draws in areas too
+// small for the crowd — the walk then starts as spread out as the draws
+// allowed and separates as targets re-draw.
+func NewCrowd(area Rect, cfg MobilityConfig, n int, rng func(i int) *rand.Rand, minSep float64) *Crowd {
+	if minSep <= 0 {
+		minSep = DefaultMinSeparation
+	}
+	c := &Crowd{walkers: make([]*Walker, n), MinSep: minSep}
+	for i := 0; i < n; i++ {
+		w := NewWalker(area, cfg, rng(i))
+		for tries := 0; tries < 64 && c.collides(w.pos, i); tries++ {
+			w.pos = w.randomPoint()
+		}
+		c.walkers[i] = w
+	}
+	return c
+}
+
+// collides reports whether p is within MinSep of any walker other than i
+// that has already been constructed/stepped.
+func (c *Crowd) collides(p Vec3, self int) bool {
+	for j, w := range c.walkers {
+		if j == self || w == nil {
+			continue
+		}
+		if w.pos.Dist(p) < c.MinSep {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of walkers.
+func (c *Crowd) Len() int { return len(c.walkers) }
+
+// Positions appends the current walker positions to dst and returns it.
+func (c *Crowd) Positions(dst []Vec3) []Vec3 {
+	for _, w := range c.walkers {
+		dst = append(dst, w.pos)
+	}
+	return dst
+}
+
+// Step advances every walker by dt seconds in index order. A walker whose
+// new position would violate MinSep against any other occupant's current
+// position reverts to where it stood and re-draws its waypoint (from its
+// own stream), yielding naturally avoiding trajectories without any
+// cross-walker randomness coupling. Moves that *increase* the distance to
+// an already-too-close neighbour are allowed, so a crowd seeded tighter
+// than MinSep (possible in areas too small for it) separates instead of
+// deadlocking; once apart, no step can re-create a violation.
+func (c *Crowd) Step(dt float64) {
+	if len(c.walkers) == 1 && len(c.Obstacles) == 0 {
+		c.walkers[0].Step(dt)
+		return
+	}
+	for i, w := range c.walkers {
+		prev := w.pos
+		w.Step(dt)
+		if c.blockedWithin(w.pos, prev, i, c.MinSep*alertFactor) {
+			// The waypoint move closes in on another body. Retreat
+			// straight away from the nearest one instead of freezing —
+			// essential against moving obstacles, which would otherwise
+			// run a frozen walker over — as long as the retreat creates no
+			// hard (MinSep) violation; freeze only when cornered. The
+			// alert radius makes walkers yield before contact, buying lead
+			// time against bodies faster than themselves.
+			w.pos = prev
+			if away := prev.Sub(c.nearestBody(prev, i)).Normalize(); away.Norm() > 0 {
+				// Retreat at full walking speed: a yielding human hurries.
+				cand := prev.Add(away.Scale(math.Max(w.speed, w.cfg.SpeedMax) * dt))
+				cand.X = math.Min(math.Max(cand.X, w.area.MinX), w.area.MaxX)
+				cand.Y = math.Min(math.Max(cand.Y, w.area.MinY), w.area.MaxY)
+				if !c.blockedWithin(cand, prev, i, c.MinSep) {
+					w.pos = cand
+				}
+			}
+			w.pickTarget()
+		}
+	}
+}
+
+// alertFactor scales MinSep into the radius at which walkers start
+// yielding: approaches inside alertFactor·MinSep trigger the retreat
+// behavior while the hard non-interpenetration bound stays at MinSep.
+const alertFactor = 1.5
+
+// blockedWithin reports whether moving walker self from prev to p closes
+// in on another body: p is within radius of it and no farther than prev
+// was. Moves that strictly increase the distance of an already-close pair
+// are allowed (escape).
+func (c *Crowd) blockedWithin(p, prev Vec3, self int, radius float64) bool {
+	for j, o := range c.walkers {
+		if j == self {
+			continue
+		}
+		if d := o.pos.Dist(p); d < radius && d <= o.pos.Dist(prev) {
+			return true
+		}
+	}
+	for _, o := range c.Obstacles {
+		if d := o.Dist(p); d < radius && d <= o.Dist(prev) {
+			return true
+		}
+	}
+	return false
+}
+
+// nearestBody returns the position of the walker or obstacle closest to p
+// (other than walker self).
+func (c *Crowd) nearestBody(p Vec3, self int) Vec3 {
+	best := math.Inf(1)
+	var at Vec3
+	for j, o := range c.walkers {
+		if j == self {
+			continue
+		}
+		if d := o.pos.Dist(p); d < best {
+			best, at = d, o.pos
+		}
+	}
+	for _, o := range c.Obstacles {
+		if d := o.Dist(p); d < best {
+			best, at = d, o
+		}
+	}
+	return at
+}
+
 // ScriptedPath returns a deterministic trajectory that crosses the direct
 // TX–RX line, useful for reproducible tests and the burst-error experiment
 // (paper Fig. 15): the human walks from one corner of the movement area

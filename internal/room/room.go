@@ -1,7 +1,9 @@
 // Package room models the measurement environment of the paper: a
 // laboratory room with a fixed transmitter, receiver and surveillance
-// camera, and a single mobile human whose movement area is constrained so
-// the camera observes all mobility (paper Fig. 2).
+// camera, and mobile humans whose movement area is constrained so the
+// camera observes all mobility (paper Fig. 2). The paper's campaign has a
+// single walker; Crowd generalizes the random-waypoint model to several
+// collision-avoiding occupants for the multi-occupant scenarios.
 package room
 
 import (

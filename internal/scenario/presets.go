@@ -1,0 +1,56 @@
+package scenario
+
+import "vvd/internal/room"
+
+// The built-in presets span the axes the paper's single measurement
+// campaign could not: occupancy (empty room through eight walkers),
+// trajectory style (random waypoint vs the deterministic LoS crossing),
+// walker dynamics, and link quality. Each is one Register call; downstream
+// tooling (vvd-dataset -scenario, the experiments sweep, the conformance
+// suite) discovers them through the registry and never hard-codes a name.
+func init() {
+	Register(Scenario{
+		Name:        "paper-default",
+		Description: "the paper's campaign: one random-waypoint walker, default impairments",
+	})
+	Register(Scenario{
+		Name:        "scripted-crossing",
+		Description: "one walker on the deterministic LoS-crossing diagonal (burst errors, Fig. 15)",
+		Scripted:    true,
+	})
+	Register(Scenario{
+		Name:        "crowded-room-2",
+		Description: "two collision-avoiding walkers sharing the movement area",
+		Occupants:   2,
+	})
+	Register(Scenario{
+		Name:        "crowded-room-4",
+		Description: "four collision-avoiding walkers: frequent simultaneous blockage",
+		Occupants:   4,
+	})
+	Register(Scenario{
+		Name:        "crowded-room-8",
+		Description: "eight walkers: dense crowd, LoS almost permanently shadowed",
+		Occupants:   8,
+	})
+	Register(Scenario{
+		Name:        "high-mobility",
+		Description: "one walker at jogging speed: channel decorrelates within a packet interval",
+		Mobility:    &room.MobilityConfig{SpeedMin: 1.4, SpeedMax: 2.4},
+	})
+	Register(Scenario{
+		Name:        "low-snr",
+		Description: "one walker over a 7 dB clear-channel link: fades push decoding off a cliff",
+		SNRdB:       7,
+	})
+	Register(Scenario{
+		Name:        "high-snr",
+		Description: "one walker over a 20 dB clear-channel link: estimation quality isolated from noise",
+		SNRdB:       20,
+	})
+	Register(Scenario{
+		Name:        "empty-room",
+		Description: "nobody in the room: static channel, background-only depth frames",
+		Occupants:   -1,
+	})
+}
