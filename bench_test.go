@@ -642,6 +642,67 @@ func BenchmarkForwardBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkInferenceEngine measures the compiled GEMM inference engine on
+// the same network, batches and inputs as BenchmarkForwardBatch — the
+// frames/s ratio between the two is the engine speedup. Sub-benchmarks
+// cover the float32 kernels and the int8 quantized kernels; run with
+// -benchmem: steady-state engine forwards must not allocate (pooled
+// im2col/activation arenas, caller-provided outputs).
+func BenchmarkInferenceEngine(b *testing.B) {
+	net, err := core.BuildNetwork(core.ScaledArch(), rand.New(rand.NewPCG(5, 9)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(10, 20))
+	mkBatch := func(batch int) [][]float32 {
+		ins := make([][]float32, batch)
+		for s := range ins {
+			x := make([]float32, core.InputShape.Size())
+			for i := range x {
+				x[i] = float32(rng.Float64()*4 + 0.5)
+			}
+			ins[s] = x
+		}
+		return ins
+	}
+	engines := map[string]*nn.InferenceEngine{}
+	for _, mode := range []string{"f32", "int8"} {
+		eng, err := nn.NewInferenceEngine(net)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if mode == "int8" {
+			if _, err := eng.Calibrate(mkBatch(32)); err != nil {
+				b.Fatal(err)
+			}
+			if err := eng.EnableInt8(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		engines[mode] = eng
+	}
+	for _, mode := range []string{"f32", "int8"} {
+		eng := engines[mode]
+		for _, batch := range []int{1, 8, 32} {
+			b.Run(fmt.Sprintf("%s/batch%d", mode, batch), func(b *testing.B) {
+				ins := mkBatch(batch)
+				outs := make([][]float32, batch)
+				for s := range outs {
+					outs[s] = make([]float32, core.OutputUnits)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := eng.ForwardBatchF32Into(ins, outs); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+			})
+		}
+	}
+}
+
 // ---------- Multi-link serving (internal/serve) ----------
 
 // benchServeLinks drives the serving pipeline with a real trained model

@@ -25,6 +25,7 @@ func main() {
 		campaignPath = flag.String("campaign", "campaign.bin", "campaign file from vvd-dataset")
 		setID        = flag.Int("set", 1, "measurement set to run inference on")
 		decode       = flag.Bool("decode", true, "also decode every packet with the estimate")
+		quant        = flag.Bool("quant", false, "int8 quantized inference (calibrates on the set's first frames)")
 	)
 	flag.Parse()
 
@@ -61,6 +62,24 @@ func main() {
 		fatal(err)
 	}
 
+	if *quant {
+		var calib [][]float32
+		for i := range set.Packets {
+			if img := set.Packets[i].Images[model.Lag]; img != nil {
+				calib = append(calib, img)
+			}
+			if len(calib) >= 64 {
+				break
+			}
+		}
+		if len(calib) == 0 {
+			fatal(fmt.Errorf("campaign has no images for lag %d to calibrate on", model.Lag))
+		}
+		if err := model.CalibrateQuantization(calib); err != nil {
+			fatal(err)
+		}
+	}
+
 	var counter metrics.Counter
 	var inferTime time.Duration
 	rx := campaign.Receiver
@@ -88,7 +107,7 @@ func main() {
 		}
 	}
 	n := len(set.Packets)
-	fmt.Printf("set %d: %d packets\n", *setID, n)
+	fmt.Printf("set %d: %d packets (inference mode %s)\n", *setID, n, model.InferenceMode())
 	fmt.Printf("estimation MSE vs perfect estimate: %.3e\n", counter.MSE())
 	fmt.Printf("mean inference time: %.2f ms (paper: ≈0.9 ms GPU / ≈9.8 ms CPU)\n",
 		float64(inferTime.Microseconds())/float64(n)/1000)

@@ -55,6 +55,7 @@ func main() {
 		linkBuf   = flag.Int("linkbuf", 4, "per-link estimate inbox depth")
 		maxLinks  = flag.Int("maxlinks", 10000, "max open link sessions (0 = unlimited)")
 		demo      = flag.Bool("demo", false, "train a tiny model and feed simulated camera frames")
+		quant     = flag.Bool("quant", false, "int8 quantized inference (calibrates on the first frames, then switches)")
 	)
 	flag.Parse()
 
@@ -76,6 +77,22 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("loaded %s: VVD lag %d, %d parameters\n", *modelPath, model.Lag, model.Net.NumParams())
+	}
+
+	if *quant {
+		if feed != nil {
+			// Demo mode has representative frames up front: calibrate now.
+			calib := feed
+			if len(calib) > 64 {
+				calib = calib[:64]
+			}
+			if err := model.CalibrateQuantization(calib); err != nil {
+				fatal(err)
+			}
+		} else if err := model.EnableQuantization(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("quantization: inference mode %s\n", model.InferenceMode())
 	}
 
 	svc, err := serve.New(serve.Config{

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand/v2"
+	"sync"
+	"sync/atomic"
 
 	"vvd/internal/camera"
 	"vvd/internal/dataset"
@@ -116,7 +118,20 @@ type VVD struct {
 	Norm float64          // training-set normalization factor (reverted on output)
 	Mean []complex128     // training-set mean CIR (added back on output)
 	Lag  dataset.ImageLag // which image lag this variant was trained on
+
+	// Inference rides a compiled nn.InferenceEngine (im2col + GEMM,
+	// float32), built lazily from Net on the first Estimate and shared by
+	// all concurrent callers. Training and Backward keep using the
+	// float64 Net directly.
+	engOnce   sync.Once
+	eng       *nn.InferenceEngine
+	engErr    error
+	quantWant atomic.Bool // int8 requested; flips the engine once calibrated
 }
+
+// quantCalibFrames is how many frames EnableQuantization observes at full
+// float32 accuracy before switching the engine to int8 kernels.
+const quantCalibFrames = 64
 
 // TrainConfig bundles the knobs of a VVD training run.
 type TrainConfig struct {
@@ -263,50 +278,119 @@ func abs(v float64) float64 {
 	return v
 }
 
-// Estimate maps one preprocessed depth image to a complex CIR estimate
-// (de-normalized; phase-aligned to the campaign reference like its
-// training targets). The paper reports ≈0.9 ms per estimate on GPU and
-// ≈9.8 ms on CPU; BenchmarkVVDInference measures this implementation.
-func (v *VVD) Estimate(img []float32) ([]complex128, error) {
+// engine returns the compiled inference engine, building it on first use.
+func (v *VVD) engine() (*nn.InferenceEngine, error) {
+	v.engOnce.Do(func() {
+		v.eng, v.engErr = nn.NewInferenceEngine(v.Net)
+	})
+	return v.eng, v.engErr
+}
+
+// Engine exposes the compiled inference engine (compiling it if needed)
+// for callers that want the raw float32 entry points or quantization
+// control. Returns an error if the model has no trained network.
+func (v *VVD) Engine() (*nn.InferenceEngine, error) {
 	if v.Net == nil {
 		return nil, errors.New("core: VVD not trained")
 	}
-	if len(img) != v.Net.In.Size() {
-		return nil, fmt.Errorf("core: image size %d, want %d", len(img), v.Net.In.Size())
+	return v.engine()
+}
+
+// EnableQuantization arms int8 inference: the next quantCalibFrames
+// estimated frames run at full float32 accuracy while calibrating
+// per-layer activation ranges, then the engine switches to the int8
+// kernels. Estimates stay bitwise consistent between Estimate and
+// EstimateBatch throughout. CalibrateQuantization skips the traffic-
+// driven warm-up when representative images are available up front.
+func (v *VVD) EnableQuantization() error {
+	if v.Net == nil {
+		return errors.New("core: VVD not trained")
 	}
-	x := make([]float64, len(img))
-	for i, p := range img {
-		x[i] = float64(p)
+	if _, err := v.engine(); err != nil {
+		return err
 	}
-	out, err := v.Net.Forward(x)
+	v.quantWant.Store(true)
+	return nil
+}
+
+// CalibrateQuantization calibrates on the given images and switches to
+// int8 immediately (imgs should be representative; a few dozen frames
+// suffice for the per-tensor ranges).
+func (v *VVD) CalibrateQuantization(imgs [][]float32) error {
+	eng, err := v.Engine()
+	if err != nil {
+		return err
+	}
+	if _, err := eng.Calibrate(imgs); err != nil {
+		return err
+	}
+	if err := eng.EnableInt8(); err != nil {
+		return err
+	}
+	v.quantWant.Store(true)
+	return nil
+}
+
+// InferenceMode reports the active inference kernels: "float32", "int8",
+// or "int8-calibrating" while EnableQuantization is still observing
+// frames.
+func (v *VVD) InferenceMode() string {
+	eng, err := v.Engine()
+	if err != nil {
+		return "untrained"
+	}
+	mode := eng.Mode()
+	if v.quantWant.Load() && !eng.Quantized() {
+		return "int8-calibrating"
+	}
+	return mode
+}
+
+// Estimate maps one preprocessed depth image to a complex CIR estimate
+// (de-normalized; phase-aligned to the campaign reference like its
+// training targets). Inference runs on the compiled float32 GEMM engine
+// (optionally int8, see EnableQuantization). The paper reports ≈0.9 ms
+// per estimate on GPU and ≈9.8 ms on CPU; BenchmarkVVDInference measures
+// this implementation.
+func (v *VVD) Estimate(img []float32) ([]complex128, error) {
+	hs, err := v.EstimateBatch([][]float32{img})
 	if err != nil {
 		return nil, err
 	}
-	return v.denormalize(out), nil
+	return hs[0], nil
 }
 
 // EstimateBatch maps a batch of preprocessed depth images to CIR
 // estimates, one per image and bitwise identical to per-image Estimate
-// calls. One nn.Network.ForwardBatch pass amortizes the layer-weight
-// traversal across the whole batch, so a serving pipeline that queued
-// several frames pays far less than len(imgs) sequential inferences
-// (BenchmarkForwardBatch measures the ratio).
+// calls (engine results are independent of the batch they ride in). One
+// engine pass amortizes activation packing and keeps every scratch
+// buffer pooled, so a serving pipeline that queued several frames pays
+// far less than len(imgs) sequential inferences (BenchmarkForwardBatch
+// measures the ratio).
 func (v *VVD) EstimateBatch(imgs [][]float32) ([][]complex128, error) {
 	if v.Net == nil {
 		return nil, errors.New("core: VVD not trained")
 	}
-	xs := make([][]float64, len(imgs))
 	for s, img := range imgs {
 		if len(img) != v.Net.In.Size() {
 			return nil, fmt.Errorf("core: image %d size %d, want %d", s, len(img), v.Net.In.Size())
 		}
-		x := make([]float64, len(img))
-		for i, p := range img {
-			x[i] = float64(p)
-		}
-		xs[s] = x
 	}
-	outs, err := v.Net.ForwardBatch(xs)
+	eng, err := v.engine()
+	if err != nil {
+		return nil, err
+	}
+	var outs [][]float32
+	if v.quantWant.Load() && !eng.Quantized() {
+		// Warm-up traffic doubles as calibration data: Calibrate runs the
+		// same float32 forward and records activation ranges.
+		outs, err = eng.Calibrate(imgs)
+		if err == nil && eng.CalibrationFrames() >= quantCalibFrames {
+			err = eng.EnableInt8()
+		}
+	} else {
+		outs, err = eng.ForwardBatchF32(imgs)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -319,10 +403,10 @@ func (v *VVD) EstimateBatch(imgs [][]float32) ([][]complex128, error) {
 
 // denormalize converts a network output vector back to a complex CIR:
 // undo the norm scaling and add the training-set mean back.
-func (v *VVD) denormalize(out []float64) []complex128 {
+func (v *VVD) denormalize(out []float32) []complex128 {
 	h := make([]complex128, OutputTaps)
 	for i := range h {
-		h[i] = complex(out[i]*v.Norm, out[OutputTaps+i]*v.Norm)
+		h[i] = complex(float64(out[i])*v.Norm, float64(out[OutputTaps+i])*v.Norm)
 		if v.Mean != nil && i < len(v.Mean) {
 			h[i] += v.Mean[i]
 		}
@@ -331,13 +415,16 @@ func (v *VVD) denormalize(out []float64) []complex128 {
 }
 
 // Clone returns a VVD sharing the trained weights but owning private
-// forward caches, so Estimate can run concurrently on the clone and the
-// original (the weights are only read during inference).
+// forward caches and its own compiled engine, so Estimate can run
+// concurrently on the clone and the original (the weights are only read
+// during inference). A pending quantization request carries over; the
+// clone calibrates on its own traffic.
 func (v *VVD) Clone() *VVD {
 	cp := &VVD{Norm: v.Norm, Mean: v.Mean, Lag: v.Lag}
 	if v.Net != nil {
 		cp.Net = v.Net.Clone()
 	}
+	cp.quantWant.Store(v.quantWant.Load())
 	return cp
 }
 

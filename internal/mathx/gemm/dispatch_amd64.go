@@ -1,0 +1,76 @@
+//go:build amd64
+
+package gemm
+
+// cpuid and xgetbv are implemented in detect_amd64.s.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+// sgemmKern8x8 and qgemmKern8x8 are the AVX2+FMA micro-kernels in
+// kernels_amd64.s. Panel layouts match the Go kernels exactly.
+//
+//go:noescape
+func sgemmKern8x8(k int64, a, b, c *float32, ldc int64)
+
+//go:noescape
+func qgemmKern8x8(kp4 int64, a *uint8, b *int8, c *int32, ldc int64)
+
+// Element-wise inference kernels in simd_amd64.s. The int results report
+// how many leading elements were handled (a multiple of 8; the Go wrapper
+// finishes the tail), the bool results report whether the kernel ran.
+//
+//go:noescape
+func quantU8Asm(dst []uint8, src []float32, invA float32) int
+
+//go:noescape
+func dequantAsm(dst []float32, acc []int32, scale float32) int
+
+//go:noescape
+func poolAvgAsm(dst, r0, r1 []float32, c int) bool
+
+//go:noescape
+func poolMaxAsm(dst, r0, r1 []float32, c int) bool
+
+//go:noescape
+func packQuad8Asm(dst, a, b, c, d []uint8)
+
+func init() {
+	if !haveAVX2FMA() {
+		return
+	}
+	accelerated = true
+	kernF32 = func(kc int, a, b, c []float32, ldc int) {
+		sgemmKern8x8(int64(kc), &a[0], &b[0], &c[0], int64(ldc))
+	}
+	kernI8 = func(kp4 int, a []uint8, b []int8, c []int32, ldc int) {
+		qgemmKern8x8(int64(kp4), &a[0], &b[0], &c[0], int64(ldc))
+	}
+	quantU8Kern = quantU8Asm
+	dequantKern = dequantAsm
+	poolAvgKern = poolAvgAsm
+	poolMaxKern = poolMaxAsm
+	packQuadK = packQuad8Asm
+}
+
+// haveAVX2FMA reports CPU+OS support for the AVX2/FMA kernels.
+func haveAVX2FMA() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	const fma = 1 << 12
+	if ecx1&osxsave == 0 || ecx1&avx == 0 || ecx1&fma == 0 {
+		return false
+	}
+	// OS must preserve XMM+YMM state across context switches.
+	xcr0, _ := xgetbv0()
+	if xcr0&6 != 6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}

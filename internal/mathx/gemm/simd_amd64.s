@@ -1,0 +1,188 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// Element-wise AVX2 inference kernels. All loops run 8 floats per
+// iteration; callers guarantee the lengths they pass (quant/dequant
+// handle any length by returning how much they processed, the pool
+// kernels require len(dst) to be a multiple of c and c a multiple of 8).
+
+// func quantU8Asm(dst []uint8, src []float32, invA float32) int
+//
+// dst[i] = clamp(round-to-even(src[i]·invA), 0, 127) for the leading
+// len(src)&^7 elements; returns that count.
+TEXT ·quantU8Asm(SB), NOSPLIT, $0-64
+	MOVQ  dst_base+0(FP), DI
+	MOVQ  src_base+24(FP), SI
+	MOVQ  src_len+32(FP), CX
+	ANDQ  $-8, CX
+	MOVQ  CX, ret+56(FP)
+	TESTQ CX, CX
+	JZ    qdone
+	VBROADCASTSS invA+48(FP), Y0
+	VXORPS Y1, Y1, Y1
+	MOVL  $0x42FE0000, AX // 127.0f
+	MOVL  AX, X2
+	VBROADCASTSS X2, Y2
+
+qloop:
+	VMULPS (SI), Y0, Y3
+	VMAXPS Y1, Y3, Y3
+	VMINPS Y2, Y3, Y3
+	VCVTPS2DQ Y3, Y3            // round to nearest even
+	VEXTRACTI128 $1, Y3, X4
+	VPACKUSDW X4, X3, X3        // 8×s32 → 8×u16
+	VPACKUSWB X3, X3, X3        // 8×u16 → 8×u8 (low half)
+	MOVQ   X3, (DI)
+	ADDQ   $32, SI
+	ADDQ   $8, DI
+	SUBQ   $8, CX
+	JNZ    qloop
+
+qdone:
+	VZEROUPPER
+	RET
+
+// func dequantAsm(dst []float32, acc []int32, scale float32) int
+//
+// dst[i] = float32(acc[i])·scale for the leading len(dst)&^7 elements;
+// returns that count.
+TEXT ·dequantAsm(SB), NOSPLIT, $0-64
+	MOVQ  dst_base+0(FP), DI
+	MOVQ  acc_base+24(FP), SI
+	MOVQ  dst_len+8(FP), CX
+	ANDQ  $-8, CX
+	MOVQ  CX, ret+56(FP)
+	TESTQ CX, CX
+	JZ    ddone
+	VBROADCASTSS scale+48(FP), Y0
+
+dloop:
+	VCVTDQ2PS (SI), Y1
+	VMULPS Y0, Y1, Y1
+	VMOVUPS Y1, (DI)
+	ADDQ   $32, SI
+	ADDQ   $32, DI
+	SUBQ   $8, CX
+	JNZ    dloop
+
+ddone:
+	VZEROUPPER
+	RET
+
+// func poolAvgAsm(dst, r0, r1 []float32, c int) bool
+//
+// One output row of fused ReLU + 2×2/stride-2 average pooling over
+// interleaved-channel rows r0/r1: dst[x·c+ch] = mean of the clamped 2×2
+// window. len(dst) must be a multiple of c, c a multiple of 8.
+TEXT ·poolAvgAsm(SB), NOSPLIT, $0-81
+	MOVQ  dst_base+0(FP), DI
+	MOVQ  dst_len+8(FP), CX
+	MOVQ  r0_base+24(FP), SI
+	MOVQ  r1_base+48(FP), DX
+	MOVQ  c+72(FP), R8
+	MOVB  $1, ret+80(FP)
+	VXORPS Y1, Y1, Y1
+	MOVL  $0x3E800000, AX // 0.25f
+	MOVL  AX, X2
+	VBROADCASTSS X2, Y2
+	LEAQ  (R8*4), R9      // channel-block stride in bytes
+
+pavgx:
+	TESTQ CX, CX
+	JZ    pavgdone
+	LEAQ  (SI)(R9*1), R11 // right column of the window
+	LEAQ  (DX)(R9*1), R12
+	XORQ  R10, R10
+
+pavgj:
+	VMOVUPS (SI)(R10*1), Y3
+	VMAXPS Y1, Y3, Y3
+	VMOVUPS (R11)(R10*1), Y4
+	VMAXPS Y1, Y4, Y4
+	VADDPS Y4, Y3, Y3
+	VMOVUPS (DX)(R10*1), Y5
+	VMAXPS Y1, Y5, Y5
+	VADDPS Y5, Y3, Y3
+	VMOVUPS (R12)(R10*1), Y6
+	VMAXPS Y1, Y6, Y6
+	VADDPS Y6, Y3, Y3
+	VMULPS Y2, Y3, Y3
+	VMOVUPS Y3, (DI)(R10*1)
+	ADDQ   $32, R10
+	CMPQ   R10, R9
+	JLT    pavgj
+
+	ADDQ  R9, DI
+	LEAQ  (SI)(R9*2), SI
+	LEAQ  (DX)(R9*2), DX
+	SUBQ  R8, CX
+	JMP   pavgx
+
+pavgdone:
+	VZEROUPPER
+	RET
+
+// func poolMaxAsm(dst, r0, r1 []float32, c int) bool
+//
+// Max-pool variant of poolAvgAsm: dst[x·c+ch] = max(0, window max).
+TEXT ·poolMaxAsm(SB), NOSPLIT, $0-81
+	MOVQ  dst_base+0(FP), DI
+	MOVQ  dst_len+8(FP), CX
+	MOVQ  r0_base+24(FP), SI
+	MOVQ  r1_base+48(FP), DX
+	MOVQ  c+72(FP), R8
+	MOVB  $1, ret+80(FP)
+	VXORPS Y1, Y1, Y1
+	LEAQ  (R8*4), R9
+
+pmaxx:
+	TESTQ CX, CX
+	JZ    pmaxdone
+	LEAQ  (SI)(R9*1), R11
+	LEAQ  (DX)(R9*1), R12
+	XORQ  R10, R10
+
+pmaxj:
+	VMOVUPS (SI)(R10*1), Y3
+	VMAXPS (R11)(R10*1), Y3, Y3
+	VMAXPS (DX)(R10*1), Y3, Y3
+	VMAXPS (R12)(R10*1), Y3, Y3
+	VMAXPS Y1, Y3, Y3
+	VMOVUPS Y3, (DI)(R10*1)
+	ADDQ   $32, R10
+	CMPQ   R10, R9
+	JLT    pmaxj
+
+	ADDQ  R9, DI
+	LEAQ  (SI)(R9*2), SI
+	LEAQ  (DX)(R9*2), DX
+	SUBQ  R8, CX
+	JMP   pmaxx
+
+pmaxdone:
+	VZEROUPPER
+	RET
+
+// func packQuad8Asm(dst, a, b, c, d []uint8)
+//
+// 4×8 byte transpose: dst[r*4+i] = src_i[r]. One PackedAInt8 quad block
+// from four 8-byte source windows, via SSE byte/word unpacks.
+TEXT ·packQuad8Asm(SB), NOSPLIT, $0-120
+	MOVQ  dst_base+0(FP), DI
+	MOVQ  a_base+24(FP), SI
+	MOVQ  b_base+48(FP), DX
+	MOVQ  c_base+72(FP), CX
+	MOVQ  d_base+96(FP), R8
+	MOVQ  (SI), X0
+	MOVQ  (DX), X1
+	MOVQ  (CX), X2
+	MOVQ  (R8), X3
+	PUNPCKLBW X1, X0 // a0 b0 a1 b1 ...
+	PUNPCKLBW X3, X2 // c0 d0 c1 d1 ...
+	MOVO  X0, X4
+	PUNPCKLWL X2, X0 // lanes 0-3: a b c d per lane
+	PUNPCKHWL X2, X4 // lanes 4-7
+	MOVOU X0, (DI)
+	MOVOU X4, 16(DI)
+	RET

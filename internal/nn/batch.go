@@ -14,11 +14,17 @@ import (
 // per batch instead of once per sample, so a weight row loaded into cache
 // is applied to every queued sample before the next row is streamed in —
 // on memory-bound layers the saving approaches the batch size. Second,
-// large batches are split across runtime.GOMAXPROCS(0) goroutines.
+// large batches are split across runtime.GOMAXPROCS(0) goroutines, each
+// chunk writing directly into its disjoint range of the shared result
+// slice. Intermediate activations live in pooled ping-pong arenas, so a
+// batch allocates only its result slices.
 //
 // Unlike Forward, ForwardBatch writes no layer caches: it cannot be
 // followed by Backward, and concurrent ForwardBatch calls on the same
 // network are safe (weights are only read).
+//
+// This is the float64 reference path; the compiled InferenceEngine is the
+// fast float32/int8 one.
 func (n *Network) ForwardBatch(ins [][]float64) ([][]float64, error) {
 	for s, in := range ins {
 		if len(in) != n.In.Size() {
@@ -28,14 +34,20 @@ func (n *Network) ForwardBatch(ins [][]float64) ([][]float64, error) {
 	if len(ins) == 0 {
 		return nil, nil
 	}
+	outSize := n.Out.Size()
+	flat := make([]float64, len(ins)*outSize)
+	outs := make([][]float64, len(ins))
+	for s := range outs {
+		outs[s] = flat[s*outSize : (s+1)*outSize]
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(ins) {
 		workers = len(ins)
 	}
 	if workers <= 1 {
-		return n.forwardChunk(ins), nil
+		n.forwardChunk(ins, outs)
+		return outs, nil
 	}
-	outs := make([][]float64, len(ins))
 	chunk := (len(ins) + workers - 1) / workers
 	var wg sync.WaitGroup
 	for start := 0; start < len(ins); start += chunk {
@@ -43,35 +55,94 @@ func (n *Network) ForwardBatch(ins [][]float64) ([][]float64, error) {
 		wg.Add(1)
 		go func(start, end int) {
 			defer wg.Done()
-			copy(outs[start:end], n.forwardChunk(ins[start:end]))
+			n.forwardChunk(ins[start:end], outs[start:end])
 		}(start, end)
 	}
 	wg.Wait()
 	return outs, nil
 }
 
-// forwardChunk pushes a contiguous sub-batch through every layer.
-func (n *Network) forwardChunk(ins [][]float64) [][]float64 {
-	xs := ins
-	for _, l := range n.Layers {
-		xs = l.forwardBatch(xs)
+// batchScratch is a pair of ping-pong activation arenas for one chunk,
+// plus the per-sample slice views into them.
+type batchScratch struct {
+	a, b   []float64
+	va, vb [][]float64
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// views returns s sample views of width size into one of the two arenas,
+// growing the backing array as needed.
+func (sc *batchScratch) views(useA bool, s, size int) [][]float64 {
+	buf, v := &sc.a, &sc.va
+	if !useA {
+		buf, v = &sc.b, &sc.vb
 	}
-	return xs
+	if cap(*buf) < s*size {
+		*buf = make([]float64, s*size)
+	}
+	if cap(*v) < s {
+		*v = make([][]float64, s)
+	}
+	*v = (*v)[:s]
+	for i := range *v {
+		(*v)[i] = (*buf)[i*size : (i+1)*size]
+	}
+	return *v
+}
+
+// layerOutSize reports a layer's output element count from its cached
+// shapes without calling OutShape (which writes the cache and would race
+// with concurrent batches).
+func layerOutSize(l Layer, inSize int) int {
+	switch t := l.(type) {
+	case *Conv2D:
+		return t.out.Size()
+	case *Dense:
+		return t.Units
+	case *Pool2D:
+		return t.out.Size()
+	default: // ReLU, Flatten: identity on the flat layout
+		return inSize
+	}
+}
+
+// forwardChunk pushes a contiguous sub-batch through every layer, writing
+// the final activations into outs (outs[i] pre-sized to n.Out.Size()).
+func (n *Network) forwardChunk(ins, outs [][]float64) {
+	sc := batchScratchPool.Get().(*batchScratch)
+	s := len(ins)
+	cur := ins
+	size := n.In.Size()
+	useA := true
+	for _, l := range n.Layers {
+		if _, ok := l.(*Flatten); ok {
+			continue // identity on values: no buffer hop
+		}
+		size = layerOutSize(l, size)
+		dst := sc.views(useA, s, size)
+		l.forwardBatch(cur, dst)
+		cur = dst
+		useA = !useA
+	}
+	for i := range outs {
+		copy(outs[i], cur[i])
+	}
+	batchScratchPool.Put(sc)
 }
 
 // ---------- per-layer batch kernels ----------
+//
+// Each kernel writes into caller-provided, correctly sized (possibly
+// recycled, non-zeroed) output slices.
 
 // Conv2D: the sample loop sits inside the weight-row loop, so each row of
 // the kernel tensor is loaded once per batch. Per-sample accumulation
 // order matches Forward exactly (y, x, ky, kx, ci, f).
-func (c *Conv2D) forwardBatch(ins [][]float64) [][]float64 {
+func (c *Conv2D) forwardBatch(ins, outs [][]float64) {
 	oh, ow, oc := c.out.H, c.out.W, c.out.C
 	ic := c.in.C
 	iw := c.in.W
-	outs := make([][]float64, len(ins))
-	for s := range outs {
-		outs[s] = make([]float64, oh*ow*oc)
-	}
 	for y := 0; y < oh; y++ {
 		for x := 0; x < ow; x++ {
 			base := (y*ow + x) * oc
@@ -99,16 +170,13 @@ func (c *Conv2D) forwardBatch(ins [][]float64) [][]float64 {
 			}
 		}
 	}
-	return outs
 }
 
 // Dense: each weight row W[i·Units:(i+1)·Units] is streamed from memory
 // once per batch instead of once per sample — the whole point of batching
 // for a layer whose weight matrix dwarfs the activations.
-func (d *Dense) forwardBatch(ins [][]float64) [][]float64 {
-	outs := make([][]float64, len(ins))
+func (d *Dense) forwardBatch(ins, outs [][]float64) {
 	for s := range outs {
-		outs[s] = make([]float64, d.Units)
 		copy(outs[s], d.b.W)
 	}
 	for i := 0; i < d.in.C; i++ {
@@ -124,29 +192,26 @@ func (d *Dense) forwardBatch(ins [][]float64) [][]float64 {
 			}
 		}
 	}
-	return outs
 }
 
-func (r *ReLU) forwardBatch(ins [][]float64) [][]float64 {
-	outs := make([][]float64, len(ins))
+func (r *ReLU) forwardBatch(ins, outs [][]float64) {
 	for s, in := range ins {
-		out := make([]float64, len(in))
+		out := outs[s]
 		for i, v := range in {
 			if v > 0 {
 				out[i] = v
+			} else {
+				out[i] = 0
 			}
 		}
-		outs[s] = out
 	}
-	return outs
 }
 
-func (p *Pool2D) forwardBatch(ins [][]float64) [][]float64 {
+func (p *Pool2D) forwardBatch(ins, outs [][]float64) {
 	oh, ow, c := p.out.H, p.out.W, p.out.C
 	iw := p.in.W
-	outs := make([][]float64, len(ins))
 	for s, in := range ins {
-		out := make([]float64, oh*ow*c)
+		out := outs[s]
 		for y := 0; y < oh; y++ {
 			for x := 0; x < ow; x++ {
 				for ch := 0; ch < c; ch++ {
@@ -175,9 +240,11 @@ func (p *Pool2D) forwardBatch(ins [][]float64) [][]float64 {
 				}
 			}
 		}
-		outs[s] = out
 	}
-	return outs
 }
 
-func (f *Flatten) forwardBatch(ins [][]float64) [][]float64 { return ins }
+func (f *Flatten) forwardBatch(ins, outs [][]float64) {
+	for s, in := range ins {
+		copy(outs[s], in)
+	}
+}

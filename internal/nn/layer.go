@@ -52,9 +52,10 @@ type Layer interface {
 	// private caches and gradients.
 	clone() Layer
 	// forwardBatch computes the layer output for a batch of inputs without
-	// touching the Backward caches (inference only). Weighted layers
-	// traverse their parameters once for the whole batch.
-	forwardBatch(ins [][]float64) [][]float64
+	// touching the Backward caches (inference only), writing into the
+	// caller-provided (possibly recycled, non-zeroed) output slices.
+	// Weighted layers traverse their parameters once for the whole batch.
+	forwardBatch(ins, outs [][]float64)
 	// name identifies the layer type for serialization.
 	name() string
 }
@@ -244,6 +245,12 @@ const (
 
 // Pool2D is a 2×2, stride-2 pooling layer (the paper uses 2×2 everywhere;
 // average pooling performed slightly better than max in their ablation).
+//
+// Odd input dimensions are defined, not an error: the output is
+// ⌊H/2⌋×⌊W/2⌋ and a trailing odd row or column contributes to no pooling
+// window (valid-style truncation, matching Keras/TensorFlow defaults).
+// The paper's architecture depends on this — its conv stack produces
+// 11×21 and 9×19 planes on the 50×90 input.
 type Pool2D struct {
 	Kind PoolKind
 

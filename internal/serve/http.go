@@ -128,7 +128,7 @@ func NewHandler(s *Service) http.Handler {
 			InferMeanMS: ms(m.InferMean), InferFrameMeanMS: ms(m.InferMeanFrame),
 			InferMaxMS: ms(m.InferMax), LastSeq: m.LastSeq,
 			QueueLen: m.QueueLen, QueueCap: m.QueueCap, ActiveLinks: m.ActiveLinks,
-			EstimatesServed: m.EstimatesServed, Err: m.Err,
+			EstimatesServed: m.EstimatesServed, InferMode: m.InferMode, Err: m.Err,
 		})
 	})
 	return mux
@@ -176,6 +176,7 @@ type metricsJSON struct {
 	QueueCap         int     `json:"queue_cap"`
 	ActiveLinks      int     `json:"active_links"`
 	EstimatesServed  uint64  `json:"estimates_served"`
+	InferMode        string  `json:"inference_mode,omitempty"` // float32 / int8 / int8-calibrating
 	Err              string  `json:"err,omitempty"`
 }
 

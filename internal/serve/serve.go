@@ -47,6 +47,14 @@ type BatchEstimator interface {
 	EstimateBatch(imgs [][]float32) ([][]complex128, error)
 }
 
+// ModeReporter is an optional BatchEstimator extension that reports the
+// active inference kernel set ("float32", "int8", "int8-calibrating").
+// When the estimator implements it, Metrics and /metricsz expose the
+// mode. *core.VVD implements it.
+type ModeReporter interface {
+	InferenceMode() string
+}
+
 // Config parameterizes a Service.
 type Config struct {
 	// Estimator runs the batched CNN inference. Required.
@@ -108,6 +116,7 @@ type Metrics struct {
 	QueueCap        int
 	ActiveLinks     int
 	EstimatesServed uint64 // Latest/Next reads across all sessions, ever
+	InferMode       string // estimator kernel set, when it reports one
 	Err             string // first estimator error, if any
 }
 
@@ -283,6 +292,9 @@ func (s *Service) Metrics() Metrics {
 		m.Err = s.err.Error()
 	}
 	s.state.RUnlock()
+	if mr, ok := s.cfg.Estimator.(ModeReporter); ok {
+		m.InferMode = mr.InferenceMode()
+	}
 	return m
 }
 
