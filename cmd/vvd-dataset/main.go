@@ -7,6 +7,7 @@
 //
 //	vvd-dataset -out campaign.bin -sets 15 -packets 120 -psdu 127
 //	vvd-dataset -scenario crowded-room-4 -out crowd.bin
+//	vvd-dataset -random-scenario 42 -out world42.bin
 //	vvd-dataset -list-scenarios
 //	vvd-dataset -inspect campaign.bin
 package main
@@ -34,6 +35,7 @@ func main() {
 		snr       = flag.Float64("snr", 0, "override clear-channel SNR in dB (0 = default)")
 		occupants = flag.Int("occupants", 0, "people in the room (0 = the paper's single human, N > 1 = N collision-avoiding walkers, -1 = empty room)")
 		preset    = flag.String("scenario", "", "apply a registered scenario preset (see -list-scenarios); -scripted/-snr/-occupants further shape it (non-zero/true values win over the preset; zero/false keep it)")
+		random    = flag.Uint64("random-scenario", 0, "draw a bounded random scenario from this seed instead of -scenario (the same seed always draws the same world; the provenance name records every axis)")
 		list      = flag.Bool("list-scenarios", false, "list the registered scenario presets and exit")
 		workers   = flag.Int("workers", 0, "parallel generation workers (0 = one per core, 1 = sequential; output is identical for any value)")
 	)
@@ -51,12 +53,20 @@ func main() {
 	}
 
 	cfg := dataset.DefaultConfig()
+	if *preset != "" && *random != 0 {
+		fatal(fmt.Errorf("-scenario and -random-scenario are mutually exclusive"))
+	}
 	if *preset != "" {
 		applied, err := scenario.Resolve(*preset, cfg)
 		if err != nil {
 			fatal(err)
 		}
 		cfg = applied
+	}
+	if *random != 0 {
+		s := scenario.Random(scenario.NewPCG(*random), scenario.DefaultBounds())
+		fmt.Printf("random scenario (seed %d): %s\n", *random, s.Name)
+		cfg = s.Apply(cfg)
 	}
 	cfg.Sets = *sets
 	cfg.PacketsPerSet = *packets

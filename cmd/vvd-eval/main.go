@@ -8,6 +8,8 @@
 //	vvd-eval -figures 12 -workers 8       # parallel evaluation fan-out
 //	vvd-eval -campaign campaign.bin       # stream a stored campaign instead of generating
 //	vvd-eval -scenarios all               # cross-scenario occupancy sweep
+//	vvd-eval -sweep grid                  # occupancy × SNR grid tables
+//	vvd-eval -sweep grid -grid-occ 0,2,8 -grid-snr 7,25
 //	vvd-eval -paper                       # full-scale (hours)
 package main
 
@@ -25,19 +27,22 @@ import (
 
 func main() {
 	var (
-		figures  = flag.String("figures", "all", "comma list: table1,table2,5,11,12,15,aging,ablations")
-		campaign = flag.String("campaign", "", "evaluate a stored campaign file (vvd-dataset) instead of generating one; only the sets the selected combinations need are decoded")
-		sets     = flag.Int("sets", 0, "override campaign sets")
-		packets  = flag.Int("packets", 0, "override packets per set")
-		psdu     = flag.Int("psdu", 0, "override PSDU bytes")
-		combos   = flag.Int("combos", 0, "override combinations evaluated")
-		epochs   = flag.Int("epochs", 0, "override VVD training epochs")
-		paper    = flag.Bool("paper", false, "full paper-scale parameters (very slow)")
-		seed     = flag.Uint64("seed", 0, "override campaign seed")
-		workers  = flag.Int("workers", 0, "parallel (combination × technique) evaluation tasks (0 = GOMAXPROCS, 1 = sequential)")
-		sweep    = flag.String("scenarios", "", "run the cross-scenario sweep instead of the figures: comma list of presets or \"all\"")
-		sweepOut = flag.String("sweep-out", "", "also write the cross-scenario table to this file")
-		list     = flag.Bool("list-scenarios", false, "list the registered scenario presets and exit")
+		figures   = flag.String("figures", "all", "comma list: table1,table2,5,11,12,15,aging,ablations")
+		campaign  = flag.String("campaign", "", "evaluate a stored campaign file (vvd-dataset) instead of generating one; only the sets the selected combinations need are decoded")
+		sets      = flag.Int("sets", 0, "override campaign sets")
+		packets   = flag.Int("packets", 0, "override packets per set")
+		psdu      = flag.Int("psdu", 0, "override PSDU bytes")
+		combos    = flag.Int("combos", 0, "override combinations evaluated")
+		epochs    = flag.Int("epochs", 0, "override VVD training epochs")
+		paper     = flag.Bool("paper", false, "full paper-scale parameters (very slow)")
+		seed      = flag.Uint64("seed", 0, "override campaign seed")
+		workers   = flag.Int("workers", 0, "parallel (combination × technique) evaluation tasks (0 = GOMAXPROCS, 1 = sequential)")
+		sweep     = flag.String("scenarios", "", "run the cross-scenario sweep instead of the figures: comma list of presets or \"all\"")
+		sweepMode = flag.String("sweep", "", "multi-axis sweep mode: \"grid\" evaluates the occupancy × SNR cross product (see -grid-occ/-grid-snr)")
+		gridOcc   = flag.String("grid-occ", "0,1,2,4", "grid sweep occupancy axis: comma list of occupant counts (0 = empty room)")
+		gridSNR   = flag.String("grid-snr", "7,13,20,25", "grid sweep SNR axis: comma list of clear-channel SNRs in dB")
+		sweepOut  = flag.String("sweep-out", "", "also write the sweep table to this file")
+		list      = flag.Bool("list-scenarios", false, "list the registered scenario presets and exit")
 	)
 	flag.Parse()
 
@@ -72,6 +77,19 @@ func main() {
 	}
 	if *workers > 0 {
 		p.Workers = *workers
+	}
+
+	if *sweepMode != "" {
+		if *sweepMode != "grid" {
+			fatal(fmt.Errorf("unknown -sweep mode %q (supported: grid)", *sweepMode))
+		}
+		if *campaign != "" {
+			fatal(fmt.Errorf("-sweep grid generates one campaign per cell and cannot evaluate a stored file; drop -campaign"))
+		}
+		if err := runGridSweep(p, *gridOcc, *gridSNR, *sweepOut); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	if *sweep != "" {
@@ -180,6 +198,44 @@ func runSweep(p experiments.Params, names, outPath string) error {
 	table := experiments.RenderScenarioTable(results, nil)
 	fmt.Println(table)
 	fmt.Printf("(cross-scenario sweep completed in %.1fs)\n", time.Since(start).Seconds())
+	if outPath != "" {
+		if err := os.WriteFile(outPath, []byte(table+"\n"), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	return nil
+}
+
+// runGridSweep expands the occupancy × SNR cross product through the
+// scenario algebra and renders the multi-axis table: one block per
+// technique, occupancy rows, SNR columns, MSE/availability cells. The table
+// carries no timings, so reruns at any -workers value are byte-identical —
+// CI diffs it as a build artifact.
+func runGridSweep(p experiments.Params, occList, snrList, outPath string) error {
+	var g scenario.Grid
+	for _, tok := range strings.Split(occList, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(tok), "%d", &n); err != nil {
+			return fmt.Errorf("-grid-occ entry %q: %w", tok, err)
+		}
+		g.Rows = append(g.Rows, scenario.Occupancy(n))
+	}
+	for _, tok := range strings.Split(snrList, ",") {
+		var db float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(tok), "%g", &db); err != nil {
+			return fmt.Errorf("-grid-snr entry %q: %w", tok, err)
+		}
+		g.Cols = append(g.Cols, scenario.SNR(db))
+	}
+	start := time.Now()
+	gr, err := experiments.NewSweepEngine(p).EvaluateGrid(g, nil)
+	if err != nil {
+		return err
+	}
+	table := experiments.RenderGridTable(gr, nil)
+	fmt.Println(table)
+	fmt.Printf("(grid sweep of %d cells completed in %.1fs)\n", len(g.Rows)*len(g.Cols), time.Since(start).Seconds())
 	if outPath != "" {
 		if err := os.WriteFile(outPath, []byte(table+"\n"), 0o644); err != nil {
 			return err

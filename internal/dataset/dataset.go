@@ -73,6 +73,15 @@ type Config struct {
 	// With Scripted set, occupant 0 follows the deterministic diagonal and
 	// the remaining occupants walk randomly around it.
 	Occupants int `json:",omitempty"`
+	// RoomWidth/RoomDepth/RoomHeight override the laboratory dimensions in
+	// metres. All three zero (the pre-geometry zero value) keeps the
+	// paper's 8×6×3 m room; otherwise all three must be positive and the
+	// layout (antennas, camera, movement area) scales proportionally via
+	// room.ScaledLab. Like every world-shaping field they round-trip
+	// through the campaign store header.
+	RoomWidth  float64 `json:",omitempty"`
+	RoomDepth  float64 `json:",omitempty"`
+	RoomHeight float64 `json:",omitempty"`
 	// Workers bounds the goroutines generating packets (and rendering
 	// their camera frames); 0 means one per core, 1 means sequential,
 	// matching the evaluation engine's knob. The generated campaign is
@@ -241,13 +250,13 @@ func (p *Packet) Bodies(cfg Config) []room.Human {
 // campaign that produced them. The campaign store uses it to rebuild
 // loaded campaigns.
 func NewShell(cfg Config) (*Campaign, error) {
-	if cfg.PSDULen < 4 || cfg.PSDULen > phy.MaxPSDU {
-		return nil, fmt.Errorf("dataset: PSDU length %d outside [4,%d]", cfg.PSDULen, phy.MaxPSDU)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	if cfg.Occupants > maxOccupants {
-		return nil, fmt.Errorf("dataset: %d occupants (max %d)", cfg.Occupants, maxOccupants)
+	lab, err := cfg.lab()
+	if err != nil {
+		return nil, err
 	}
-	lab := room.DefaultLab()
 	g := channel.NewGeometry(lab, phy.Wavelength)
 	if cfg.HumanScatterGain != 0 {
 		g.HumanScatterGain = cfg.HumanScatterGain

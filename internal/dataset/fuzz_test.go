@@ -2,8 +2,11 @@ package dataset
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"io"
 	"os"
+	"strings"
 	"testing"
 )
 
@@ -53,6 +56,7 @@ func FuzzOpenCampaign(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte("VVD2"))
+	f.Add(truncatedOccupantBlock(f))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := OpenCampaign(bytes.NewReader(data))
@@ -73,4 +77,75 @@ func FuzzOpenCampaign(f *testing.F) {
 			}
 		}
 	})
+}
+
+// truncatedOccupantBlock builds a v3 stream whose set block passes the CRC
+// but lies in its occupant count: the packet claims 50 extra occupants while
+// only one coordinate follows. Plain truncations die at the length/CRC
+// checks before the occupant decoder ever runs; this shape is the one that
+// reaches cursor.others with a hostile count, which is exactly the
+// bounds-check the decoder must not trust the count without.
+func truncatedOccupantBlock(tb testing.TB) []byte {
+	tb.Helper()
+	cfg := DefaultConfig()
+	cfg.Sets = 1
+	cfg.PacketsPerSet = 1
+	cfg.PSDULen = 24
+	cfg.Seed = 7
+	cfg.RenderImages = false
+	cfg.Occupants = 2
+	c, err := Generate(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	v3 := buf.Bytes()
+	// Header: magic + version + configJSON length + configJSON + sets + CRC.
+	cfgLen := int(binary.LittleEndian.Uint32(v3[8:12]))
+	hdrLen := 4 + 4 + 4 + cfgLen + 4 + 4
+
+	// Forge the set block: valid 57-byte packet prefix (index, seq, link
+	// seed, flags, five float64s), then an occupant count the remaining
+	// payload cannot satisfy.
+	p := &c.Sets[0].Packets[0]
+	b := appendU32(nil, 1) // set index
+	b = appendU32(b, 1)    // one packet
+	b = appendU64(b, 0)    // payload length, patched below
+	b = appendU32(b, uint32(p.Index))
+	b = appendU32(b, uint32(p.SeqNum))
+	b = appendU64(b, p.LinkSeed)
+	b = append(b, 1) // flags: preamble detected
+	for _, f := range []float64{p.Time, p.Pos.X, p.Pos.Y, p.Pos.Z, p.SyncPeak} {
+		b = appendF64(b, f)
+	}
+	b = appendU32(b, 50) // claims 50 extra occupants (within maxOccupants)...
+	b = appendF64(b, 1)  // ...but only 8 of the 1200 coordinate bytes follow
+	binary.LittleEndian.PutUint64(b[8:], uint64(len(b)-16))
+	b = appendU32(b, crc32.Checksum(b, castagnoli))
+	return append(append([]byte(nil), v3[:hdrLen]...), b...)
+}
+
+// TestOpenCampaignRejectsTruncatedOccupantBlock pins the regression the
+// corpus entry of the same name guards: a CRC-valid set block whose occupant
+// count exceeds the remaining payload must fail with the short-payload
+// error, not panic or over-allocate.
+func TestOpenCampaignRejectsTruncatedOccupantBlock(t *testing.T) {
+	data := truncatedOccupantBlock(t)
+	r, err := OpenCampaign(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("header must parse (the forgery is in the set block): %v", err)
+	}
+	if _, err := r.Shell(); err != nil {
+		t.Fatalf("shell must parse: %v", err)
+	}
+	_, err = r.NextSet()
+	if err == nil {
+		t.Fatal("decoder accepted a set whose occupant block is truncated")
+	}
+	if !strings.Contains(err.Error(), "payload shorter") {
+		t.Fatalf("want the short-payload error, got: %v", err)
+	}
 }

@@ -1,0 +1,119 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"vvd/internal/phy"
+	"vvd/internal/room"
+)
+
+// Room dimension bounds accepted by Validate (metres). The scaled-lab
+// layout keeps its proportions at any size, but rooms outside this range
+// stop being a plausible indoor measurement environment (and a hostile
+// stored config could otherwise request degenerate geometry).
+const (
+	MinRoomDim = 2.0
+	MaxRoomDim = 100.0
+)
+
+// MaxConfigOccupants is the largest supported occupant count, shared with
+// the campaign store's per-packet occupant-block bound.
+const MaxConfigOccupants = maxOccupants
+
+// finite reports whether x is a usable real number (not NaN, not ±Inf).
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+// Validate checks every world-shaping field of the configuration and
+// returns a descriptive error naming the offending field. Before this
+// gate existed, bad values flowed into generation and failed far from the
+// cause — or worse, were silently clamped (a zero walker speed used to
+// become 0.5 m/s inside room.Walker). Generate, NewShell and therefore
+// every campaign store load run through it.
+//
+// Scale knobs (Sets, PacketsPerSet, Seed, RenderImages, Workers) are not
+// validated here: Generate checks the counts it needs, and a stored
+// campaign's shell does not need them.
+func (c Config) Validate() error {
+	if c.PSDULen < 4 || c.PSDULen > phy.MaxPSDU {
+		return fmt.Errorf("dataset: PSDU length %d outside [4,%d]", c.PSDULen, phy.MaxPSDU)
+	}
+	if c.Occupants < -1 || c.Occupants > MaxConfigOccupants {
+		return fmt.Errorf("dataset: Occupants %d outside [-1,%d] (-1 = empty room, 0 = the single human)", c.Occupants, MaxConfigOccupants)
+	}
+	if !finite(c.Imp.SNRdB) || c.Imp.SNRdB < 0 {
+		return fmt.Errorf("dataset: Imp.SNRdB %g must be a finite non-negative dB value", c.Imp.SNRdB)
+	}
+	if !finite(c.Imp.PhaseStdDev) || c.Imp.PhaseStdDev < 0 {
+		return fmt.Errorf("dataset: Imp.PhaseStdDev %g must be finite and non-negative", c.Imp.PhaseStdDev)
+	}
+	if !finite(c.Imp.CFOStdDevHz) || c.Imp.CFOStdDevHz < 0 {
+		return fmt.Errorf("dataset: Imp.CFOStdDevHz %g must be finite and non-negative", c.Imp.CFOStdDevHz)
+	}
+	if !finite(c.HumanScatterGain) || c.HumanScatterGain < 0 || c.HumanScatterGain > 1 {
+		return fmt.Errorf("dataset: HumanScatterGain %g outside [0,1] (0 keeps the default)", c.HumanScatterGain)
+	}
+	if err := c.validateMobility(); err != nil {
+		return err
+	}
+	return c.validateRoom()
+}
+
+// validateMobility rejects walker dynamics that the walker model used to
+// clamp silently. A fully zero MobilityConfig is accepted when no random
+// walker consumes it (empty room, or a single scripted occupant).
+func (c Config) validateMobility() error {
+	m := c.Mobility
+	if !finite(m.SpeedMin) || m.SpeedMin < 0 {
+		return fmt.Errorf("dataset: Mobility.SpeedMin %g must be finite and non-negative", m.SpeedMin)
+	}
+	if !finite(m.SpeedMax) || m.SpeedMax < 0 {
+		return fmt.Errorf("dataset: Mobility.SpeedMax %g must be finite and non-negative", m.SpeedMax)
+	}
+	if m.SpeedMax < m.SpeedMin {
+		return fmt.Errorf("dataset: Mobility speed range [%g,%g] inverted", m.SpeedMin, m.SpeedMax)
+	}
+	if !finite(m.PauseTime) || m.PauseTime < 0 {
+		return fmt.Errorf("dataset: Mobility.PauseTime %g must be finite and non-negative", m.PauseTime)
+	}
+	randomWalkers := c.NumOccupants()
+	if c.Scripted && randomWalkers > 0 {
+		randomWalkers-- // occupant 0 follows the deterministic diagonal
+	}
+	if randomWalkers > 0 && m.SpeedMax == 0 {
+		return fmt.Errorf("dataset: Mobility.SpeedMax 0 with %d random walker(s); the walk needs a positive speed", randomWalkers)
+	}
+	return nil
+}
+
+// validateRoom checks the room-geometry override: all three dimensions
+// zero keeps the paper's lab, anything else must describe a full,
+// plausibly-sized room.
+func (c Config) validateRoom() error {
+	w, d, h := c.RoomWidth, c.RoomDepth, c.RoomHeight
+	if w == 0 && d == 0 && h == 0 {
+		return nil
+	}
+	for _, dim := range []struct {
+		name string
+		v    float64
+	}{{"RoomWidth", w}, {"RoomDepth", d}, {"RoomHeight", h}} {
+		if !finite(dim.v) || dim.v <= 0 {
+			return fmt.Errorf("dataset: %s %g: zero-size or non-finite room (set all three dimensions, or none for the paper's 8x6x3 m lab)", dim.name, dim.v)
+		}
+		if dim.v < MinRoomDim || dim.v > MaxRoomDim {
+			return fmt.Errorf("dataset: %s %g outside [%g,%g] m", dim.name, dim.v, MinRoomDim, MaxRoomDim)
+		}
+	}
+	return nil
+}
+
+// lab resolves the configured room: the paper's laboratory, or its layout
+// scaled to the overridden dimensions. Validate has already bounded the
+// dimensions, so ScaledLab cannot fail on a validated config.
+func (c Config) lab() (*room.Room, error) {
+	if c.RoomWidth == 0 && c.RoomDepth == 0 && c.RoomHeight == 0 {
+		return room.DefaultLab(), nil
+	}
+	return room.ScaledLab(c.RoomWidth, c.RoomDepth, c.RoomHeight)
+}

@@ -1,0 +1,153 @@
+package dataset
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"vvd/internal/room"
+)
+
+// validBase returns a configuration Validate accepts, used as the mutation
+// base of the rejection table.
+func validBase() Config {
+	cfg := DefaultConfig()
+	cfg.Sets = 1
+	cfg.PacketsPerSet = 2
+	cfg.PSDULen = 24
+	cfg.RenderImages = false
+	return cfg
+}
+
+// TestConfigValidateRejections drives Validate over one mutation per
+// guarded field: each bad value must be rejected with an error that names
+// the field, instead of flowing into generation and failing far from the
+// cause (or being silently clamped).
+func TestConfigValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string // substring the error must contain
+	}{
+		{"psdu too small", func(c *Config) { c.PSDULen = 3 }, "PSDU"},
+		{"psdu too large", func(c *Config) { c.PSDULen = 128 }, "PSDU"},
+		{"occupants below -1", func(c *Config) { c.Occupants = -2 }, "Occupants"},
+		{"occupants above max", func(c *Config) { c.Occupants = MaxConfigOccupants + 1 }, "Occupants"},
+		{"snr NaN", func(c *Config) { c.Imp.SNRdB = math.NaN() }, "SNRdB"},
+		{"snr negative", func(c *Config) { c.Imp.SNRdB = -3 }, "SNRdB"},
+		{"snr infinite", func(c *Config) { c.Imp.SNRdB = math.Inf(1) }, "SNRdB"},
+		{"phase stddev NaN", func(c *Config) { c.Imp.PhaseStdDev = math.NaN() }, "PhaseStdDev"},
+		{"phase stddev negative", func(c *Config) { c.Imp.PhaseStdDev = -0.1 }, "PhaseStdDev"},
+		{"cfo stddev NaN", func(c *Config) { c.Imp.CFOStdDevHz = math.NaN() }, "CFOStdDevHz"},
+		{"cfo stddev negative", func(c *Config) { c.Imp.CFOStdDevHz = -1 }, "CFOStdDevHz"},
+		{"scatter gain NaN", func(c *Config) { c.HumanScatterGain = math.NaN() }, "HumanScatterGain"},
+		{"scatter gain negative", func(c *Config) { c.HumanScatterGain = -0.2 }, "HumanScatterGain"},
+		{"scatter gain above 1", func(c *Config) { c.HumanScatterGain = 1.5 }, "HumanScatterGain"},
+		{"speed min NaN", func(c *Config) { c.Mobility.SpeedMin = math.NaN() }, "SpeedMin"},
+		{"speed min negative", func(c *Config) { c.Mobility.SpeedMin = -0.5 }, "SpeedMin"},
+		{"speed max NaN", func(c *Config) { c.Mobility.SpeedMax = math.NaN() }, "SpeedMax"},
+		{"speed max negative", func(c *Config) { c.Mobility.SpeedMax = -0.5 }, "SpeedMax"},
+		{"speed range inverted", func(c *Config) {
+			c.Mobility.SpeedMin = 1.5
+			c.Mobility.SpeedMax = 0.5
+		}, "inverted"},
+		{"pause time NaN", func(c *Config) { c.Mobility.PauseTime = math.NaN() }, "PauseTime"},
+		{"pause time negative", func(c *Config) { c.Mobility.PauseTime = -1 }, "PauseTime"},
+		{"zero walker speed with walkers", func(c *Config) {
+			c.Mobility.SpeedMin = 0
+			c.Mobility.SpeedMax = 0
+		}, "positive speed"},
+		{"room width only", func(c *Config) { c.RoomWidth = 8 }, "RoomDepth"},
+		{"room depth zero", func(c *Config) {
+			c.RoomWidth, c.RoomDepth, c.RoomHeight = 8, 0, 3
+		}, "RoomDepth"},
+		{"room height NaN", func(c *Config) {
+			c.RoomWidth, c.RoomDepth, c.RoomHeight = 8, 6, math.NaN()
+		}, "RoomHeight"},
+		{"room width negative", func(c *Config) {
+			c.RoomWidth, c.RoomDepth, c.RoomHeight = -8, 6, 3
+		}, "RoomWidth"},
+		{"room too small", func(c *Config) {
+			c.RoomWidth, c.RoomDepth, c.RoomHeight = 8, 6, 0.5
+		}, "RoomHeight"},
+		{"room too large", func(c *Config) {
+			c.RoomWidth, c.RoomDepth, c.RoomHeight = 500, 6, 3
+		}, "RoomWidth"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := validBase()
+			tc.mut(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %+v", cfg)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name the offending field (want %q)", err, tc.want)
+			}
+			// The same rejection must surface through Generate (and
+			// therefore through NewShell and every store load).
+			if _, gerr := Generate(cfg); gerr == nil {
+				t.Fatal("Generate accepted a config Validate rejects")
+			}
+		})
+	}
+}
+
+// TestConfigValidateAccepts pins the accepted shapes: the defaults, every
+// boundary value, and the legacy zero-mobility empty room.
+func TestConfigValidateAccepts(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"default", func(c *Config) {}},
+		{"zero snr floor", func(c *Config) { c.Imp.SNRdB = 0 }},
+		{"empty room", func(c *Config) { c.Occupants = -1 }},
+		{"max occupants", func(c *Config) { c.Occupants = MaxConfigOccupants }},
+		{"scaled room", func(c *Config) { c.RoomWidth, c.RoomDepth, c.RoomHeight = 12, 9, 4 }},
+		{"room at bounds", func(c *Config) { c.RoomWidth, c.RoomDepth, c.RoomHeight = MinRoomDim, MinRoomDim, MinRoomDim }},
+		{"zero mobility empty room", func(c *Config) {
+			c.Occupants = -1
+			c.Mobility.SpeedMin, c.Mobility.SpeedMax = 0, 0
+		}},
+		{"zero mobility single scripted", func(c *Config) {
+			c.Scripted = true
+			c.Mobility.SpeedMin, c.Mobility.SpeedMax = 0, 0
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := validBase()
+			tc.mut(&cfg)
+			if err := cfg.Validate(); err != nil {
+				t.Fatalf("Validate rejected a legal config: %v", err)
+			}
+		})
+	}
+}
+
+// TestGenerateScaledRoom exercises the geometry axis end to end: a
+// non-default room must generate, scale the movement area, and keep every
+// occupant inside it.
+func TestGenerateScaledRoom(t *testing.T) {
+	cfg := validBase()
+	cfg.RoomWidth, cfg.RoomDepth, cfg.RoomHeight = 12, 9, 3.5
+	cfg.Occupants = 3
+	cfg.PacketsPerSet = 6
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Room.Width != 12 || c.Room.Depth != 9 || c.Room.Height != 3.5 {
+		t.Fatalf("room not scaled: %gx%gx%g", c.Room.Width, c.Room.Depth, c.Room.Height)
+	}
+	area := c.Room.MovementArea
+	for _, p := range c.Sets[0].Packets {
+		for _, pos := range append([]room.Vec3{p.Pos}, p.Others...) {
+			if !area.Contains(pos.X, pos.Y) {
+				t.Fatalf("occupant at (%g,%g) outside scaled movement area %+v", pos.X, pos.Y, area)
+			}
+		}
+	}
+}

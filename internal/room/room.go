@@ -100,21 +100,23 @@ type Room struct {
 
 // Validate checks geometric consistency.
 func (r *Room) Validate() error {
-	if r.Width <= 0 || r.Depth <= 0 || r.Height <= 0 {
+	// The !(x > 0) form also rejects NaN, which compares false to
+	// everything and would otherwise slip through.
+	if !(r.Width > 0) || !(r.Depth > 0) || !(r.Height > 0) {
 		return fmt.Errorf("room: non-positive dimensions %gx%gx%g", r.Width, r.Depth, r.Height)
 	}
 	for _, p := range []struct {
 		name string
 		v    Vec3
 	}{{"TX", r.TX}, {"RX", r.RX}, {"Camera", r.Camera}} {
-		if p.v.X < 0 || p.v.X > r.Width || p.v.Y < 0 || p.v.Y > r.Depth || p.v.Z < 0 || p.v.Z > r.Height {
+		if !(p.v.X >= 0 && p.v.X <= r.Width && p.v.Y >= 0 && p.v.Y <= r.Depth && p.v.Z >= 0 && p.v.Z <= r.Height) {
 			return fmt.Errorf("room: %s position %+v outside room", p.name, p.v)
 		}
 	}
-	if r.MovementArea.Width() <= 0 || r.MovementArea.Height() <= 0 {
+	if !(r.MovementArea.Width() > 0) || !(r.MovementArea.Height() > 0) {
 		return fmt.Errorf("room: empty movement area")
 	}
-	if r.WallReflectionLoss <= 0 || r.WallReflectionLoss >= 1 {
+	if !(r.WallReflectionLoss > 0 && r.WallReflectionLoss < 1) {
 		return fmt.Errorf("room: wall reflection loss %g outside (0,1)", r.WallReflectionLoss)
 	}
 	return nil
@@ -137,6 +139,39 @@ func DefaultLab() *Room {
 		WallReflectionLoss: 0.25,
 	}
 	return r
+}
+
+// ScaledLab returns a laboratory with the paper's layout scaled to a
+// w×d×h metre room: TX, RX, camera and the movement area keep their
+// relative positions (TX and RX on opposite sides at mid-depth, camera
+// high on the front wall, movement area centred between the antennas), so
+// a scenario can sweep the room-geometry axis while every other world
+// invariant — camera sees all mobility, antennas inside the walls — holds
+// by construction. ScaledLab(8, 6, 3) is identical to DefaultLab.
+func ScaledLab(w, d, h float64) (*Room, error) {
+	base := DefaultLab()
+	sx, sy, sz := w/base.Width, d/base.Depth, h/base.Height
+	scale := func(v Vec3) Vec3 { return Vec3{v.X * sx, v.Y * sy, v.Z * sz} }
+	r := &Room{
+		Width:      w,
+		Depth:      d,
+		Height:     h,
+		TX:         scale(base.TX),
+		RX:         scale(base.RX),
+		Camera:     scale(base.Camera),
+		CameraLook: base.CameraLook,
+		MovementArea: Rect{
+			MinX: base.MovementArea.MinX * sx,
+			MinY: base.MovementArea.MinY * sy,
+			MaxX: base.MovementArea.MaxX * sx,
+			MaxY: base.MovementArea.MaxY * sy,
+		},
+		WallReflectionLoss: base.WallReflectionLoss,
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
 }
 
 // DefaultHuman returns the mobile person with typical body dimensions.

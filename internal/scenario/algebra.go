@@ -1,0 +1,164 @@
+// Scenario algebra: parameterized combinators compose into registered,
+// provenance-stamped Scenario values, and a Grid expands the cross product
+// of two axes into the scenario set a multi-axis sweep evaluates.
+//
+// The hand-written presets (presets.go) name a handful of interesting
+// worlds; the algebra makes the whole parameter space addressable. A
+// composed scenario's name IS its provenance — "occ4+snr7dB+room12x9x3"
+// says exactly which combinators produced it, in which order, with which
+// values — so a result row in a sweep table reproduces from its label
+// alone, and a generated counterexample reproduces from its seed (see
+// generate.go).
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"vvd/internal/room"
+)
+
+// Combinator is one parameterized world-shaping transformation. Combinators
+// are values (not functions) so an axis of a Grid can render itself: Axis
+// names the dimension ("occ", "snr", …) and Value the setting ("4", "7dB").
+// String() — Axis + Value — is the provenance fragment that becomes part of
+// a composed scenario's name.
+type Combinator struct {
+	// Axis is the short dimension label, unique per combinator kind.
+	Axis string
+	// Value renders the parameter, e.g. "4", "7dB", "12x9x3".
+	Value string
+	apply func(*Scenario)
+}
+
+// String returns the provenance fragment, e.g. "occ4" or "snr7dB".
+func (c Combinator) String() string { return c.Axis + c.Value }
+
+// Occupancy places n people in the room: 0 empties it, 1 is the paper's
+// single walker, n > 1 a collision-avoiding crowd.
+func Occupancy(n int) Combinator {
+	occ := n
+	if n == 0 {
+		occ = -1 // dataset.Config encodes "empty" as -1 (0 means default)
+	}
+	return Combinator{
+		Axis:  "occ",
+		Value: fmt.Sprintf("%d", n),
+		apply: func(s *Scenario) { s.Occupants = occ },
+	}
+}
+
+// Mobility pins every walker to the given constant speed in m/s (the
+// random-waypoint walk keeps redrawing directions, only the speed draw
+// collapses). Deterministic semantics beat a min/max pair in an algebra:
+// the axis value states exactly how fast the room moves.
+func Mobility(speed float64) Combinator {
+	return Combinator{
+		Axis:  "speed",
+		Value: fmt.Sprintf("%.2gms", speed),
+		apply: func(s *Scenario) { s.Mobility = &room.MobilityConfig{SpeedMin: speed, SpeedMax: speed} },
+	}
+}
+
+// SNR sets the clear-channel SNR in dB.
+func SNR(db float64) Combinator {
+	return Combinator{
+		Axis:  "snr",
+		Value: fmt.Sprintf("%gdB", db),
+		apply: func(s *Scenario) { s.SNRdB = db },
+	}
+}
+
+// Geometry sets the room dimensions in metres; the lab layout scales
+// proportionally (room.ScaledLab).
+func Geometry(w, d, h float64) Combinator {
+	return Combinator{
+		Axis:  "room",
+		Value: fmt.Sprintf("%gx%gx%g", w, d, h),
+		apply: func(s *Scenario) { s.RoomW, s.RoomD, s.RoomH = w, d, h },
+	}
+}
+
+// Scatter sets the human-body re-radiation efficiency.
+func Scatter(gain float64) Combinator {
+	return Combinator{
+		Axis:  "scatter",
+		Value: fmt.Sprintf("%g", gain),
+		apply: func(s *Scenario) { s.HumanScatterGain = gain },
+	}
+}
+
+// ScriptedCrossing switches occupant 0 to the deterministic LoS-crossing
+// diagonal.
+func ScriptedCrossing() Combinator {
+	return Combinator{
+		Axis:  "scripted",
+		Value: "",
+		apply: func(s *Scenario) { s.Scripted = true },
+	}
+}
+
+// Compose builds the scenario the combinators describe, stamps its
+// provenance name from their String() fragments joined by "+", registers
+// it, and returns it. Composition is left to right; a later combinator on
+// the same axis wins (and its fragment still appears in the name, keeping
+// the provenance honest about the full composition). Composing zero
+// combinators yields the base world under the name "base".
+func Compose(cs ...Combinator) Scenario {
+	s := Scenario{}
+	frags := make([]string, 0, len(cs))
+	for _, c := range cs {
+		c.apply(&s)
+		frags = append(frags, c.String())
+	}
+	s.Name = strings.Join(frags, "+")
+	if s.Name == "" {
+		s.Name = "base"
+	}
+	s.Description = "composed: " + s.Name
+	Register(s)
+	return s
+}
+
+// Grid is the cross product of two rendered axes over an optional fixed
+// context: Scenarios expands Rows × Cols (row-major, deterministic order)
+// into composed, registered scenarios, one per cell.
+type Grid struct {
+	// Rows and Cols are the two swept axes. Every entry of an axis should
+	// share its Axis label; RowAxis/ColAxis report the first entry's.
+	Rows, Cols []Combinator
+	// Fixed is applied to every cell before the axis combinators.
+	Fixed []Combinator
+}
+
+// RowAxis and ColAxis name the swept dimensions (empty for empty axes).
+func (g Grid) RowAxis() string {
+	if len(g.Rows) == 0 {
+		return ""
+	}
+	return g.Rows[0].Axis
+}
+
+// ColAxis names the column dimension.
+func (g Grid) ColAxis() string {
+	if len(g.Cols) == 0 {
+		return ""
+	}
+	return g.Cols[0].Axis
+}
+
+// Scenarios expands the grid row-major: cell (i, j) composes
+// Fixed + Rows[i] + Cols[j]. Each cell is registered by Compose, so the
+// returned scenarios resolve by name through the ordinary sweep machinery.
+func (g Grid) Scenarios() []Scenario {
+	out := make([]Scenario, 0, len(g.Rows)*len(g.Cols))
+	for _, r := range g.Rows {
+		for _, c := range g.Cols {
+			cs := make([]Combinator, 0, len(g.Fixed)+2)
+			cs = append(cs, g.Fixed...)
+			cs = append(cs, r, c)
+			out = append(out, Compose(cs...))
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package scenario_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"vvd/internal/dataset"
+	"vvd/internal/scenario"
+)
+
+// TestComposeNamesAndSemantics pins the algebra's core contract: the name
+// is the provenance (fragments joined by "+", in composition order) and
+// applying the composed scenario writes exactly the fields its combinators
+// describe.
+func TestComposeNamesAndSemantics(t *testing.T) {
+	s := scenario.Compose(
+		scenario.Occupancy(4),
+		scenario.SNR(7),
+		scenario.Mobility(1.5),
+		scenario.Geometry(12, 9, 3.5),
+		scenario.Scatter(0.4),
+	)
+	if s.Name != "occ4+snr7dB+speed1.5ms+room12x9x3.5+scatter0.4" {
+		t.Fatalf("composed name %q", s.Name)
+	}
+	cfg := s.Apply(dataset.DefaultConfig())
+	if cfg.Occupants != 4 || cfg.Imp.SNRdB != 7 || cfg.HumanScatterGain != 0.4 {
+		t.Fatalf("combinators did not materialize: %+v", cfg)
+	}
+	if cfg.Mobility.SpeedMin != 1.5 || cfg.Mobility.SpeedMax != 1.5 {
+		t.Fatalf("Mobility(1.5) must pin the speed: %+v", cfg.Mobility)
+	}
+	if cfg.RoomWidth != 12 || cfg.RoomDepth != 9 || cfg.RoomHeight != 3.5 {
+		t.Fatalf("Geometry did not set the room: %+v", cfg)
+	}
+	if cfg.Scenario != s.Name {
+		t.Fatalf("provenance not stamped: %q", cfg.Scenario)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("composed config invalid: %v", err)
+	}
+
+	// Registration: the composed scenario resolves by its own name.
+	got, err := scenario.Lookup(s.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("registry returned a different scenario for %q", s.Name)
+	}
+
+	// Empty-room encoding: Occupancy(0) means -1 at the config layer.
+	empty := scenario.Compose(scenario.Occupancy(0))
+	if empty.Name != "occ0" || empty.Occupants != -1 {
+		t.Fatalf("Occupancy(0) = %+v", empty)
+	}
+	if c := empty.Apply(dataset.DefaultConfig()); c.NumOccupants() != 0 {
+		t.Fatalf("occ0 config still has %d occupants", c.NumOccupants())
+	}
+
+	// Left-to-right composition: a later combinator on the same axis wins,
+	// and the name still records both fragments.
+	over := scenario.Compose(scenario.SNR(7), scenario.SNR(25))
+	if over.SNRdB != 25 || over.Name != "snr7dB+snr25dB" {
+		t.Fatalf("override semantics broken: %+v", over)
+	}
+
+	if base := scenario.Compose(); base.Name != "base" {
+		t.Fatalf("empty composition named %q", base.Name)
+	}
+}
+
+// TestGridExpansion pins the cross product: row-major order, one composed
+// registered scenario per cell, Fixed context applied to every cell.
+func TestGridExpansion(t *testing.T) {
+	g := scenario.Grid{
+		Rows:  []scenario.Combinator{scenario.Occupancy(1), scenario.Occupancy(4)},
+		Cols:  []scenario.Combinator{scenario.SNR(7), scenario.SNR(13), scenario.SNR(25)},
+		Fixed: []scenario.Combinator{scenario.Mobility(0.6)},
+	}
+	if g.RowAxis() != "occ" || g.ColAxis() != "snr" {
+		t.Fatalf("axes %q/%q", g.RowAxis(), g.ColAxis())
+	}
+	cells := g.Scenarios()
+	if len(cells) != 6 {
+		t.Fatalf("expanded %d cells, want 6", len(cells))
+	}
+	wantNames := []string{
+		"speed0.6ms+occ1+snr7dB", "speed0.6ms+occ1+snr13dB", "speed0.6ms+occ1+snr25dB",
+		"speed0.6ms+occ4+snr7dB", "speed0.6ms+occ4+snr13dB", "speed0.6ms+occ4+snr25dB",
+	}
+	for i, c := range cells {
+		if c.Name != wantNames[i] {
+			t.Fatalf("cell %d named %q, want %q", i, c.Name, wantNames[i])
+		}
+		if _, err := scenario.Lookup(c.Name); err != nil {
+			t.Fatalf("cell %d not registered: %v", i, err)
+		}
+		if c.Mobility == nil || c.Mobility.SpeedMin != 0.6 {
+			t.Fatalf("cell %d lost the fixed mobility context", i)
+		}
+	}
+	// Row i, column j carries Rows[i] and Cols[j].
+	if cells[3].Occupants != 4 || cells[3].SNRdB != 7 {
+		t.Fatalf("cell (1,0) = %+v", cells[3])
+	}
+	if cells[2].Occupants != 1 || cells[2].SNRdB != 25 {
+		t.Fatalf("cell (0,2) = %+v", cells[2])
+	}
+}
+
+// TestRandomStaysInBounds draws a batch of scenarios and checks every axis
+// lands inside the configured bounds (the generator's half of the contract
+// that TestPropertyGeneratedScenariosValid checks at the config layer).
+func TestRandomStaysInBounds(t *testing.T) {
+	b := scenario.DefaultBounds()
+	sawEmpty, sawCrowd, sawScripted := false, false, false
+	for seed := uint64(0); seed < 300; seed++ {
+		s := scenario.Random(scenario.NewPCG(seed), b)
+		switch {
+		case s.Occupants == -1:
+			sawEmpty = true
+		case s.Occupants > 1:
+			sawCrowd = true
+		}
+		if s.Scripted {
+			sawScripted = true
+		}
+		if s.Occupants > b.MaxOccupants {
+			t.Fatalf("seed %d: %d occupants above bound %d", seed, s.Occupants, b.MaxOccupants)
+		}
+		if s.SNRdB < b.SNRMin-0.05 || s.SNRdB > b.SNRMax+0.05 {
+			t.Fatalf("seed %d: SNR %g outside [%g,%g]", seed, s.SNRdB, b.SNRMin, b.SNRMax)
+		}
+		if s.Mobility != nil && (s.Mobility.SpeedMin < b.SpeedMin-0.005 || s.Mobility.SpeedMax > b.SpeedMax+0.005) {
+			t.Fatalf("seed %d: speed %+v outside [%g,%g]", seed, s.Mobility, b.SpeedMin, b.SpeedMax)
+		}
+		if s.RoomW < 8*b.ScaleMin-0.05 || s.RoomW > 8*b.ScaleMax+0.05 {
+			t.Fatalf("seed %d: room width %g outside scale bounds", seed, s.RoomW)
+		}
+		if s.Occupants == -1 && (s.Scripted || s.Mobility != nil) {
+			t.Fatalf("seed %d: empty room with walker axes: %+v", seed, s)
+		}
+		if !strings.Contains(s.Name, "occ") || !strings.Contains(s.Name, "room") {
+			t.Fatalf("seed %d: name %q missing mandatory axes", seed, s.Name)
+		}
+	}
+	if !sawEmpty || !sawCrowd || !sawScripted {
+		t.Fatalf("300 draws never hit every scenario class: empty=%v crowd=%v scripted=%v",
+			sawEmpty, sawCrowd, sawScripted)
+	}
+}

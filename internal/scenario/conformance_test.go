@@ -148,7 +148,10 @@ func scenarioMetrics(t *testing.T, name string) map[string]string {
 func TestScenarioConformanceGoldens(t *testing.T) {
 	path := filepath.Join("testdata", "conformance.json")
 	got := map[string]map[string]string{}
-	for _, name := range scenario.Names() {
+	// Iterate the fixed preset catalogue, not scenario.Names(): the algebra
+	// tests register composed scenarios into the shared registry, and those
+	// are covered by the property suite, not by committed goldens.
+	for _, name := range presetNames {
 		got[name] = scenarioMetrics(t, name)
 	}
 	if *updateGolden {

@@ -1,0 +1,126 @@
+package scenario_test
+
+import (
+	"encoding/binary"
+	"math"
+	"reflect"
+	"testing"
+
+	"vvd/internal/dataset"
+	"vvd/internal/phy"
+	"vvd/internal/scenario"
+)
+
+// FuzzScenarioConfig is the adversarial half of the property suite: the
+// fuzzer's bytes pick a scenario seed, a campaign seed and the scale knobs,
+// the scenario generator turns the seed into a bounded world, and the whole
+// generate→estimate path runs on a tiny campaign. Whatever the fuzzer
+// picks, the pipeline must (a) produce a config that passes validation —
+// the generator's bounds contract, (b) generate without panicking, and
+// (c) yield NaN-free positions, CIRs and estimates with the CIR energy
+// inside the physics envelope. A crash file therefore encodes a genuine
+// counterexample: the first 8 bytes are the scenario seed, replayable via
+// scenario.Random(scenario.NewPCG(seed), scenario.DefaultBounds()).
+func FuzzScenarioConfig(f *testing.F) {
+	f.Add([]byte{})
+	// Scenario seeds 1..4 over varying campaign seeds and PSDU sizes.
+	for i := byte(1); i <= 4; i++ {
+		f.Add([]byte{i, 0, 0, 0, 0, 0, 0, 0, i ^ 0x5a, 0, 0, 0, 0, 0, 0, 0, i * 31, i})
+	}
+	// High-entropy draw: lands in a different region of the bounds.
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef, 0xca, 0xfe, 0x01, 0x02, 0x99, 0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0xff, 0x07})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var raw [18]byte
+		copy(raw[:], data)
+		seed := binary.LittleEndian.Uint64(raw[0:8])
+		campaignSeed := binary.LittleEndian.Uint64(raw[8:16])
+		psdu := 4 + int(raw[16])%(phy.MaxPSDU-3)
+		packets := 2 + int(raw[17]%5)
+
+		s := scenario.Random(scenario.NewPCG(seed), scenario.DefaultBounds())
+		cfg := dataset.DefaultConfig()
+		cfg.Sets = 1
+		cfg.PacketsPerSet = packets
+		cfg.PSDULen = psdu
+		cfg.Seed = campaignSeed
+		cfg.RenderImages = false
+		cfg = s.Apply(cfg)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("seed %d: generated scenario %q escaped the bounds: %v", seed, s.Name, err)
+		}
+		c, err := dataset.Generate(cfg)
+		if err != nil {
+			t.Fatalf("seed %d (%s): generate: %v", seed, s.Name, err)
+		}
+
+		clear := c.Model.ClearGain()
+		area := c.Room.MovementArea
+		for ki := range c.Sets[0].Packets {
+			p := &c.Sets[0].Packets[ki]
+			if c.Cfg.NumOccupants() == 0 {
+				if p.Others != nil {
+					t.Fatalf("seed %d (%s): empty room recorded occupants", seed, s.Name)
+				}
+			} else {
+				if !finiteVec(p.Pos.X, p.Pos.Y, p.Pos.Z) || !area.Contains(p.Pos.X, p.Pos.Y) {
+					t.Fatalf("seed %d (%s): packet %d position %+v escaped the room", seed, s.Name, ki, p.Pos)
+				}
+				for _, o := range p.Others {
+					if !finiteVec(o.X, o.Y, o.Z) || !area.Contains(o.X, o.Y) {
+						t.Fatalf("seed %d (%s): packet %d occupant %+v escaped the room", seed, s.Name, ki, o)
+					}
+				}
+			}
+			e := energy(p.TrueCIR)
+			if math.IsNaN(e) || math.IsInf(e, 0) || e < 1e-5*clear || e > 5*clear {
+				t.Fatalf("seed %d (%s): packet %d CIR energy %g outside envelope of clear %g", seed, s.Name, ki, e, clear)
+			}
+			if !finiteCVec(p.PreambleEst) || !finiteCVec(p.Perfect) || !finiteCVec(p.PerfectAligned) {
+				t.Fatalf("seed %d (%s): packet %d carries a non-finite estimate", seed, s.Name, ki)
+			}
+			// The estimate leg: the preamble estimator's error against the
+			// applied CIR must be a usable (finite) number whenever the
+			// packet was detected.
+			if p.PreambleDetected {
+				mse := 0.0
+				for i := range p.TrueCIR {
+					d := p.PreambleEst[i] - p.TrueCIR[i]
+					mse += real(d)*real(d) + imag(d)*imag(d)
+				}
+				if math.IsNaN(mse) || math.IsInf(mse, 0) {
+					t.Fatalf("seed %d (%s): packet %d preamble MSE %g", seed, s.Name, ki, mse)
+				}
+			}
+		}
+
+		// Empty-room identity: the static channel equals the clear
+		// projection exactly.
+		if c.Cfg.NumOccupants() == 0 {
+			want := c.Model.CIRMulti(nil)
+			for ki := range c.Sets[0].Packets {
+				if !reflect.DeepEqual(c.Sets[0].Packets[ki].TrueCIR, want) {
+					t.Fatalf("seed %d (%s): empty-room packet %d deviates from the clear channel", seed, s.Name, ki)
+				}
+			}
+		}
+	})
+}
+
+func finiteVec(xs ...float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func finiteCVec(v []complex128) bool {
+	for _, c := range v {
+		if !finiteVec(real(c), imag(c)) {
+			return false
+		}
+	}
+	return true
+}

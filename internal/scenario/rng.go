@@ -1,0 +1,27 @@
+package scenario
+
+import "math/rand/v2"
+
+// RNG is the minimal randomness surface the scenario generator consumes: a
+// stream of uniform draws in [0,1). Narrowing to one method keeps the
+// generator testable with a scripted sequence and keeps the algorithm
+// honest about how many draws it makes (determinism depends on a fixed
+// draw order — see Random in generate.go).
+type RNG interface {
+	// Rand returns the next uniform draw in [0,1).
+	Rand() float64
+}
+
+// pcg adapts the standard library's PCG generator to the RNG interface.
+type pcg struct{ src *rand.Rand }
+
+func (p pcg) Rand() float64 { return p.src.Float64() }
+
+// NewPCG returns a deterministic RNG seeded from a single uint64: the same
+// seed always yields the same draw sequence, on every platform, across
+// process restarts. This is the reproducibility anchor for generated
+// scenarios — a property-test counterexample or fuzz crash prints its seed,
+// and replaying the seed replays the exact world.
+func NewPCG(seed uint64) RNG {
+	return pcg{src: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}

@@ -51,6 +51,10 @@ type Scenario struct {
 	HumanScatterGain float64
 	// Mobility overrides the walker dynamics when non-nil.
 	Mobility *room.MobilityConfig
+	// RoomW/RoomD/RoomH override the laboratory dimensions (metres) when
+	// all three are non-zero; the layout scales proportionally (see
+	// room.ScaledLab). Zero keeps the paper's 8×6×3 m room.
+	RoomW, RoomD, RoomH float64
 }
 
 // Apply rewrites the world-shaping fields of a base configuration and
@@ -72,6 +76,9 @@ func (s Scenario) Apply(cfg dataset.Config) dataset.Config {
 	}
 	if s.Mobility != nil {
 		cfg.Mobility = *s.Mobility
+	}
+	if s.RoomW != 0 && s.RoomD != 0 && s.RoomH != 0 {
+		cfg.RoomWidth, cfg.RoomDepth, cfg.RoomHeight = s.RoomW, s.RoomD, s.RoomH
 	}
 	return cfg
 }

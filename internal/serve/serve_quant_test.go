@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"vvd/internal/core"
+	"vvd/internal/dataset"
+	"vvd/internal/nn"
+)
+
+// quantFrame builds a full-size preprocessed depth image whose pixels vary
+// with the frame index, so every inference sees distinct activations.
+func quantFrame(n int) []float32 {
+	img := make([]float32, dataset.ImagePixels)
+	for p := range img {
+		img[p] = float32((n*31+p)%97) / 96
+	}
+	return img
+}
+
+// quantVVD builds a tiny untrained VVD and calibrates it straight to int8:
+// the serving path only cares that EstimateBatch is a real quantized CNN
+// forward pass, not that the weights mean anything.
+func quantVVD(t *testing.T) *core.VVD {
+	t.Helper()
+	arch := core.Arch{Conv1: 2, Conv2: 2, Conv3: 4, Conv4: 4, Dense: 16, Pool: nn.AvgPool}
+	net, err := core.BuildNetwork(arch, rand.New(rand.NewPCG(11, 13)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &core.VVD{Net: net, Norm: 1, Mean: make([]complex128, core.OutputTaps)}
+	calib := make([][]float32, 64)
+	for i := range calib {
+		calib[i] = quantFrame(i)
+	}
+	if err := v.CalibrateQuantization(calib); err != nil {
+		t.Fatal(err)
+	}
+	if mode := v.InferenceMode(); mode != "int8" {
+		t.Fatalf("inference mode after calibration = %q, want int8", mode)
+	}
+	return v
+}
+
+// TestManyConcurrentLinksQuantized is the serving-scale acceptance test
+// again, but with the real estimator stack underneath: a CNN running on
+// the int8 GEMM kernels instead of the 1-pixel stub. Same 120 links, same
+// virtual-clock freshness and age bounds — and the engine must still be
+// on the int8 path once the run is over (concurrent batches must not
+// knock it back to float32).
+func TestManyConcurrentLinksQuantized(t *testing.T) {
+	v := quantVVD(t)
+	runManyConcurrentLinks(t, v, dataset.ImagePixels, quantFrame)
+	if mode := v.InferenceMode(); mode != "int8" {
+		t.Fatalf("inference mode after serving run = %q, want int8", mode)
+	}
+}

@@ -229,14 +229,22 @@ func TestLinkInboxOrderAndDropOldest(t *testing.T) {
 // the bound is exactly the frame period; goroutine interleaving stays
 // real, which is what -race exercises.
 func TestManyConcurrentLinks(t *testing.T) {
+	runManyConcurrentLinks(t, &stubEstimator{}, 0, frame)
+}
+
+// runManyConcurrentLinks is the acceptance body shared by the stub and the
+// quantized-CNN variants: the estimator and frame shape are the only
+// degrees of freedom, every assertion is estimator-agnostic (sequence
+// numbers and ages, never CIR contents).
+func runManyConcurrentLinks(t *testing.T, est BatchEstimator, inputSize int, mkFrame func(int) []float32) {
+	t.Helper()
 	const (
 		nLinks      = 120
 		nFrames     = 40
 		framePeriod = 33 * time.Millisecond
 	)
 	clk := &fakeClock{}
-	est := &stubEstimator{}
-	s, err := New(Config{Estimator: est, QueueDepth: 8, MaxBatch: 8, Clock: clk.now})
+	s, err := New(Config{Estimator: est, InputSize: inputSize, QueueDepth: 8, MaxBatch: 8, Clock: clk.now})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +292,7 @@ func TestManyConcurrentLinks(t *testing.T) {
 		// The single feeder owns the sequence space, so frame i gets seq i;
 		// publish the bound before Submit so readers never race ahead of it.
 		lastSubmitted.Store(uint64(i))
-		seq, _, err := s.SubmitAt(frame(i), clk.now())
+		seq, _, err := s.SubmitAt(mkFrame(i), clk.now())
 		if err != nil {
 			t.Fatal(err)
 		}
