@@ -57,6 +57,9 @@ func main() {
 	if *paper {
 		p = experiments.PaperParams()
 	}
+	// The experiments package never reads the wall clock itself (vvd-lint's
+	// determinism invariant); the CLI injects it for progress timings.
+	p.Clock = time.Now
 	if *sets > 0 {
 		p.Campaign.Sets = *sets
 	}

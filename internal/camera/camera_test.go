@@ -91,7 +91,7 @@ func TestRenderDeterministic(t *testing.T) {
 	a := cam.Render(centerHuman())
 	b := cam.Render(centerHuman())
 	for i := range a.Pix {
-		if a.Pix[i] != b.Pix[i] {
+		if a.Pix[i] != b.Pix[i] { //vvdlint:bitexact -- render parity is bitwise by contract
 			t.Fatal("render not deterministic")
 		}
 	}
@@ -113,7 +113,7 @@ func TestCropMatchesNativeRegion(t *testing.T) {
 	}
 	for r := 0; r < CropRows; r++ {
 		for c := 0; c < CropCols; c++ {
-			if crop.At(r, c) != native.At(r+CropTop, c+CropLeft) {
+			if crop.At(r, c) != native.At(r+CropTop, c+CropLeft) { //vvdlint:bitexact -- render parity is bitwise by contract
 				t.Fatalf("crop (%d,%d) mismatch", r, c)
 			}
 		}

@@ -17,7 +17,7 @@ func TestRenderMultiSingleMatchesRender(t *testing.T) {
 	a := c.Render(h)
 	b := c.RenderMulti([]room.Human{h})
 	for i := range a.Pix {
-		if a.Pix[i] != b.Pix[i] {
+		if a.Pix[i] != b.Pix[i] { //vvdlint:bitexact -- render parity is bitwise by contract
 			t.Fatalf("pixel %d: Render %g vs RenderMulti %g", i, a.Pix[i], b.Pix[i])
 		}
 	}
@@ -25,7 +25,7 @@ func TestRenderMultiSingleMatchesRender(t *testing.T) {
 	ap := c.RenderPreprocessed(h)
 	bp := c.RenderPreprocessedMulti([]room.Human{h})
 	for i := range ap.Pix {
-		if ap.Pix[i] != bp.Pix[i] {
+		if ap.Pix[i] != bp.Pix[i] { //vvdlint:bitexact -- render parity is bitwise by contract
 			t.Fatalf("cropped pixel %d differs", i)
 		}
 	}
@@ -36,7 +36,7 @@ func TestRenderMultiSingleMatchesRender(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range empty.Pix {
-		if empty.Pix[i] != crop.Pix[i] {
+		if empty.Pix[i] != crop.Pix[i] { //vvdlint:bitexact -- render parity is bitwise by contract
 			t.Fatalf("empty-room cropped pixel %d differs from background", i)
 		}
 	}
@@ -61,7 +61,7 @@ func TestRenderMultiOcclusion(t *testing.T) {
 		if b.Pix[i] < min {
 			min = b.Pix[i]
 		}
-		if both.Pix[i] != min {
+		if both.Pix[i] != min { //vvdlint:bitexact -- render parity is bitwise by contract
 			t.Fatalf("pixel %d: two-body render %g, want min of singles %g", i, both.Pix[i], min)
 		}
 	}

@@ -157,7 +157,7 @@ func TestPathsDeterministic(t *testing.T) {
 		t.Fatal("path count differs")
 	}
 	for i := range a {
-		if a[i].Gain != b[i].Gain || a[i].Length != b[i].Length {
+		if a[i].Gain != b[i].Gain || a[i].Length != b[i].Length { //vvdlint:bitexact -- frozen-reference path model parity is bitwise
 			t.Fatal("paths not deterministic")
 		}
 	}
@@ -224,7 +224,7 @@ func TestCIRSamePositionSameChannel(t *testing.T) {
 	a := m.CIR(humanAt(3.3, 2.2))
 	b := m.CIR(humanAt(3.3, 2.2))
 	for i := range a {
-		if a[i] != b[i] {
+		if a[i] != b[i] { //vvdlint:bitexact -- frozen-reference path model parity is bitwise
 			t.Fatal("same position must give identical CIR")
 		}
 	}

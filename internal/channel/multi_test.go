@@ -136,8 +136,8 @@ func TestPathsMultiSingleOccupantMatchesReference(t *testing.T) {
 			}
 			for i := range want {
 				a, b := got[i], want[i]
-				if a.Kind != b.Kind || a.Length != b.Length || a.Delay != b.Delay ||
-					a.Gain != b.Gain || a.Blocked != b.Blocked {
+				if a.Kind != b.Kind || a.Length != b.Length || a.Delay != b.Delay || //vvdlint:bitexact -- frozen-reference path model parity is bitwise
+					a.Gain != b.Gain || a.Blocked != b.Blocked { //vvdlint:bitexact -- frozen-reference path model parity is bitwise
 					t.Fatalf("trial %d path %d (%v) diverges from pre-refactor reference:\n got  %+v\n want %+v",
 						trial, i, b.Kind, a, b)
 				}
@@ -156,7 +156,7 @@ func TestPathsMultiNoOccupantsMatchesClear(t *testing.T) {
 		t.Fatalf("%d paths vs %d", len(got), len(want))
 	}
 	for i := range want {
-		if got[i].Gain != want[i].Gain || got[i].Blocked != want[i].Blocked {
+		if got[i].Gain != want[i].Gain || got[i].Blocked != want[i].Blocked { //vvdlint:bitexact -- frozen-reference path model parity is bitwise
 			t.Fatalf("path %d differs from PathsClear", i)
 		}
 	}

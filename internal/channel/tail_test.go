@@ -34,13 +34,13 @@ func TestTailClustersDeterministicInSeed(t *testing.T) {
 	c := DefaultTailClusters(8)
 	h := room.DefaultHuman(room.Vec3{X: 3, Y: 2})
 	for i := range a {
-		if a[i].Gain(&h) != b[i].Gain(&h) {
+		if a[i].Gain(&h) != b[i].Gain(&h) { //vvdlint:bitexact -- frozen-reference path model parity is bitwise
 			t.Fatal("same seed produced different fields")
 		}
 	}
 	same := true
 	for i := range a {
-		if a[i].Gain(&h) != c[i].Gain(&h) {
+		if a[i].Gain(&h) != c[i].Gain(&h) { //vvdlint:bitexact -- frozen-reference path model parity is bitwise
 			same = false
 		}
 	}
@@ -51,7 +51,7 @@ func TestTailClustersDeterministicInSeed(t *testing.T) {
 
 func TestTailGainStaticWithoutHuman(t *testing.T) {
 	for _, c := range DefaultTailClusters(2019) {
-		if c.Gain(nil) != c.Static {
+		if c.Gain(nil) != c.Static { //vvdlint:bitexact -- frozen-reference path model parity is bitwise
 			t.Fatal("empty room must use the static component")
 		}
 	}

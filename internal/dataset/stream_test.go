@@ -57,7 +57,7 @@ func compareReception(t *testing.T, orig, loaded *Campaign, set, pkt int) {
 		t.Fatal("regenerated waveform length differs")
 	}
 	for i := range recA.Waveform {
-		if recA.Waveform[i] != recB.Waveform[i] {
+		if recA.Waveform[i] != recB.Waveform[i] { //vvdlint:bitexact -- store round-trip and regeneration are bit-identical by format contract
 			t.Fatalf("regenerated waveforms differ at sample %d", i)
 		}
 	}
@@ -112,7 +112,7 @@ func TestV1DropsScatterGain(t *testing.T) {
 	if !loaded.Cfg.Scripted {
 		t.Fatal("v1 stores the Scripted flag; expected it preserved")
 	}
-	if loaded.Geometry.HumanScatterGain == orig.Geometry.HumanScatterGain {
+	if loaded.Geometry.HumanScatterGain == orig.Geometry.HumanScatterGain { //vvdlint:bitexact -- store round-trip and regeneration are bit-identical by format contract
 		t.Fatal("expected the v1 rebuild to fall back to the default scatter gain")
 	}
 }
@@ -315,7 +315,7 @@ func TestStreamShellEnvironment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if shell.Geometry.HumanScatterGain != orig.Geometry.HumanScatterGain {
+	if shell.Geometry.HumanScatterGain != orig.Geometry.HumanScatterGain { //vvdlint:bitexact -- store round-trip and regeneration are bit-identical by format contract
 		t.Fatal("shell geometry differs")
 	}
 	if !reflect.DeepEqual(shell.RefCIR, orig.RefCIR) {
@@ -339,7 +339,7 @@ func TestStreamShellEnvironment(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range recA.Waveform {
-		if recA.Waveform[i] != recB.Waveform[i] {
+		if recA.Waveform[i] != recB.Waveform[i] { //vvdlint:bitexact -- store round-trip and regeneration are bit-identical by format contract
 			t.Fatal("shell reception differs")
 		}
 	}

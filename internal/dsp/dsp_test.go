@@ -38,7 +38,7 @@ func TestConvolveIdentity(t *testing.T) {
 	x := []complex128{1 + 1i, 2, -3i}
 	got := Convolve(x, []complex128{1})
 	for i := range x {
-		if got[i] != x[i] {
+		if got[i] != x[i] { //vvdlint:bitexact -- identity/round-trip transform is exact by construction
 			t.Fatal("convolution with unit impulse must be identity")
 		}
 	}
@@ -241,7 +241,7 @@ func TestUpsampleDownsampleRoundTrip(t *testing.T) {
 	}
 	down := Downsample(up, 4, 0)
 	for i := range x {
-		if down[i] != x[i] {
+		if down[i] != x[i] { //vvdlint:bitexact -- identity/round-trip transform is exact by construction
 			t.Fatal("round trip failed")
 		}
 	}
@@ -261,7 +261,7 @@ func TestDownsampleOffset(t *testing.T) {
 	got := Downsample(x, 2, 1)
 	want := []complex128{1, 3, 5}
 	for i := range want {
-		if got[i] != want[i] {
+		if got[i] != want[i] { //vvdlint:bitexact -- identity/round-trip transform is exact by construction
 			t.Fatalf("got %v want %v", got, want)
 		}
 	}
@@ -337,7 +337,7 @@ func TestApplyCFOZeroIsIdentity(t *testing.T) {
 	x := []complex128{1, 2i}
 	y := ApplyCFO(x, 0, 8e6)
 	for i := range x {
-		if y[i] != x[i] {
+		if y[i] != x[i] { //vvdlint:bitexact -- identity/round-trip transform is exact by construction
 			t.Fatal("zero CFO must be identity")
 		}
 	}

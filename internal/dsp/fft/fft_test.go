@@ -78,7 +78,7 @@ func TestTransformDoesNotModifyInput(t *testing.T) {
 		Transform(x)
 		InverseTransform(x)
 		for i := range x {
-			if x[i] != orig[i] {
+			if x[i] != orig[i] { //vvdlint:bitexact -- identity/round-trip transform is exact by construction
 				t.Fatalf("n=%d: input modified", n)
 			}
 		}

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vvd/internal/core"
 	"vvd/internal/dataset"
@@ -44,6 +45,12 @@ type Params struct {
 	// runtime.GOMAXPROCS(0); 1 reproduces the sequential engine exactly
 	// (results are byte-identical at any worker count).
 	Workers int
+	// Clock supplies wall time for the progress timings a cross-scenario
+	// sweep records (ScenarioResult.GenSeconds/EvalSeconds). nil disables
+	// timing — every timing reads zero — which keeps this package free of
+	// wall-clock reads (the determinism invariant vvd-lint enforces).
+	// CLI mains inject time.Now.
+	Clock func() time.Time
 }
 
 // DefaultParams is the laptop-scale configuration used by the benchmarks;

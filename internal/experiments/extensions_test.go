@@ -40,7 +40,7 @@ func TestDecimateImage(t *testing.T) {
 	for r := 0; r < 8; r++ {
 		for c := 0; c < 8; c++ {
 			want := img[(r/4*4)*cols+(c/4*4)]
-			if out[r*cols+c] != want {
+			if out[r*cols+c] != want { //vvdlint:bitexact -- parallel evaluation is byte-identical to sequential
 				t.Fatalf("pixel (%d,%d) = %v want %v", r, c, out[r*cols+c], want)
 			}
 		}
@@ -84,7 +84,7 @@ func TestScalability(t *testing.T) {
 		if i > 0 && r.PilotPerSecond <= rows[i-1].PilotPerSecond {
 			t.Fatal("pilot overhead must grow with transmitters")
 		}
-		if r.CameraInferences != rows[0].CameraInferences {
+		if r.CameraInferences != rows[0].CameraInferences { //vvdlint:bitexact -- parallel evaluation is byte-identical to sequential
 			t.Fatal("camera cost must be independent of transmitter count")
 		}
 	}

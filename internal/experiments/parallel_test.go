@@ -47,7 +47,7 @@ func assertSameResults(t *testing.T, want, got []*ComboResult) {
 				g.Chips != w.Chips || g.ChipErrs != w.ChipErrs {
 				t.Fatalf("combo %d technique %q counters differ: %+v vs %+v", i, name, g, w)
 			}
-			if g.HasMSE() != w.HasMSE() || g.MSE() != w.MSE() {
+			if g.HasMSE() != w.HasMSE() || g.MSE() != w.MSE() { //vvdlint:bitexact -- parallel evaluation is byte-identical to sequential
 				t.Fatalf("combo %d technique %q MSE differs: %v vs %v", i, name, g.MSE(), w.MSE())
 			}
 		}

@@ -272,7 +272,7 @@ func TestReplayDeterministic(t *testing.T) {
 	}
 	a, b := run(), run()
 	for i := range a {
-		if a[i] != b[i] {
+		if a[i] != b[i] { //vvdlint:bitexact -- clone replay parity is bitwise
 			t.Fatal("replay after Reset differs")
 		}
 	}

@@ -1,0 +1,55 @@
+package lint_test
+
+import (
+	"testing"
+
+	"vvd/internal/lint"
+	"vvd/internal/lint/linttest"
+)
+
+// Each analyzer replays over its testdata corpus: every // want line must
+// be reported, every other line must be silent, and at least one
+// directive-suppressed (allowlisted) finding must have fired.
+
+func TestDeterminism(t *testing.T) {
+	suppressed := linttest.Run(t, lint.Determinism,
+		"vvd/internal/dsp",   // deterministic package: rand/time/crypto findings
+		"vvd/internal/serve", // wall-clock-facing by policy: silent
+	)
+	if suppressed < 1 {
+		t.Errorf("expected the allow directive to suppress at least one finding, got %d", suppressed)
+	}
+}
+
+func TestMapOrder(t *testing.T) {
+	suppressed := linttest.Run(t, lint.MapOrder, "vvd/maporder")
+	if suppressed < 1 {
+		t.Errorf("expected the allow directive to suppress at least one finding, got %d", suppressed)
+	}
+}
+
+func TestFloatCmp(t *testing.T) {
+	suppressed := linttest.Run(t, lint.FloatCmp, "vvd/floatcmp")
+	if suppressed != 2 {
+		t.Errorf("expected both bitexact spellings to suppress one finding each, got %d", suppressed)
+	}
+}
+
+func TestCloseCheck(t *testing.T) {
+	suppressed := linttest.Run(t, lint.CloseCheck, "vvd/closecheck")
+	if suppressed < 1 {
+		t.Errorf("expected the allow directive to suppress at least one finding, got %d", suppressed)
+	}
+}
+
+func TestDepFence(t *testing.T) {
+	suppressed := linttest.Run(t, lint.DepFence,
+		"vvd/internal/mathx",  // leaf importing serve: violation
+		"vvd/internal/rogue",  // not in the table: violation
+		"vvd/internal/kalman", // violation under an allow directive: suppressed
+		"vvd/internal/report", // allowed edge report → metrics: silent
+	)
+	if suppressed != 1 {
+		t.Errorf("expected exactly the kalman directive suppression, got %d", suppressed)
+	}
+}

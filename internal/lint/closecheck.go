@@ -1,0 +1,227 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CloseCheck flags writable resources — files from os.Create/os.OpenFile,
+// buffered and compressing writers — whose Close (or Flush, for writers
+// that only flush) error is discarded on the success path. For buffered
+// output, Close/Flush is where short writes and full disks surface; the
+// `defer f.Close()` idiom silently truncates output exactly then (the
+// bug class PR 3 fixed by hand in vvd-train and vvd-dataset).
+//
+// Not flagged: closes whose error is assigned or checked, bare closes
+// inside an `if err != nil` cleanup branch (the error path is already
+// failing), and bare/deferred closes of a resource that also has a
+// checked Close later in the same function (the deferred close is then
+// the error-path backstop of the standard create→write→close shape).
+// Genuine fire-and-forget sites opt out with
+// //vvdlint:allow closecheck -- reason.
+var CloseCheck = &Analyzer{
+	Name: "closecheck",
+	Doc:  "forbid discarding the Close/Flush error of writable resources",
+	Run:  runCloseCheck,
+}
+
+// closeMethodOf maps creator functions (pkg path, func name) to the
+// method whose error must be checked on the value they return.
+var closeMethodOf = map[[2]string]string{
+	{"os", "Create"}:                    "Close",
+	{"os", "OpenFile"}:                  "Close",
+	{"bufio", "NewWriter"}:              "Flush",
+	{"bufio", "NewWriterSize"}:          "Flush",
+	{"compress/gzip", "NewWriter"}:      "Close",
+	{"compress/gzip", "NewWriterLevel"}: "Close",
+	{"compress/zlib", "NewWriter"}:      "Close",
+	{"compress/zlib", "NewWriterLevel"}: "Close",
+	{"compress/flate", "NewWriter"}:     "Close",
+	{"archive/zip", "NewWriter"}:        "Close",
+	{"archive/tar", "NewWriter"}:        "Close",
+}
+
+func runCloseCheck(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkCloses(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+type closeSite struct {
+	call      *ast.CallExpr
+	obj       types.Object
+	deferred  bool
+	onErrPath bool
+}
+
+func checkCloses(pass *Pass, body *ast.BlockStmt) {
+	// Pass 1: resources created in this function and the method to check.
+	resources := map[types.Object]string{} // var → Close/Flush
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) == 0 {
+			return true
+		}
+		// f, err := os.Create(...) and w := bufio.NewWriter(...) shapes:
+		// the resource is always the first result.
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || len(as.Lhs) == 0 {
+			return true
+		}
+		f := funcOf(pass.Info, call.Fun)
+		if f == nil || f.Pkg() == nil {
+			return true
+		}
+		method, tracked := closeMethodOf[[2]string{f.Pkg().Path(), f.Name()}]
+		if !tracked {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id]
+		}
+		if obj != nil {
+			resources[obj] = method
+		}
+		return true
+	})
+	if len(resources) == 0 {
+		return
+	}
+
+	// Pass 2: every Close/Flush call site on a tracked resource,
+	// classified by whether its error is discarded and whether it sits
+	// on an error-handling path.
+	var discarded []closeSite
+	checked := map[types.Object]bool{}
+	var walk func(n ast.Node, errPath bool)
+	classify := func(call *ast.CallExpr) (types.Object, bool) {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return nil, false
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return nil, false
+		}
+		obj := pass.Info.Uses[id]
+		method, tracked := resources[obj]
+		if !tracked || sel.Sel.Name != method {
+			return nil, false
+		}
+		return obj, true
+	}
+	walk = func(n ast.Node, errPath bool) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.IfStmt:
+			walk(n.Init, errPath)
+			walk(n.Cond, errPath)
+			walk(n.Body, errPath || isErrCheck(pass.Info, n.Cond))
+			walk(n.Else, errPath)
+			return
+		case *ast.DeferStmt:
+			if obj, ok := classify(n.Call); ok {
+				discarded = append(discarded, closeSite{call: n.Call, obj: obj, deferred: true, onErrPath: errPath})
+				return
+			}
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if obj, ok := classify(call); ok {
+					discarded = append(discarded, closeSite{call: call, obj: obj, onErrPath: errPath})
+					return
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				obj, ok := classify(call)
+				if !ok {
+					continue
+				}
+				if i < len(n.Lhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						discarded = append(discarded, closeSite{call: call, obj: obj, onErrPath: errPath})
+						continue
+					}
+				}
+				checked[obj] = true
+			}
+			return // rhs close calls are classified above; don't re-visit
+		case *ast.CallExpr:
+			// err := do(f.Close()) or if err := f.Close(); ... — a close
+			// whose result flows anywhere else counts as checked.
+			if obj, ok := classify(n); ok {
+				checked[obj] = true
+				return
+			}
+		}
+		// Generic traversal.
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			switch c.(type) {
+			case *ast.IfStmt, *ast.DeferStmt, *ast.ExprStmt, *ast.AssignStmt, *ast.CallExpr:
+				walk(c, errPath)
+				return false
+			}
+			return true
+		})
+	}
+	walk(body, false)
+
+	for _, site := range discarded {
+		if site.onErrPath || checked[site.obj] {
+			continue // error-path cleanup, or backstop for a checked close
+		}
+		method := resources[site.obj]
+		how := ""
+		if site.deferred {
+			how = "deferred "
+		}
+		pass.Reportf(site.call.Pos(), "%s%s error discarded on the success path: buffered writes surface short-write/full-disk errors only at %s; check it (keep a deferred close only as the error-path backstop)", how, method, method)
+	}
+}
+
+// isErrCheck reports whether cond is (or contains) an `err != nil` test
+// on an error-typed operand.
+func isErrCheck(info *types.Info, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		for _, pair := range [][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+			if id, ok := ast.Unparen(pair[1]).(*ast.Ident); ok && id.Name == "nil" {
+				if t := info.Types[pair[0]].Type; t != nil && isErrorType(t) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface)
+}

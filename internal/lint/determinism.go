@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism rejects ambient-nondeterminism sources inside the packages
+// whose seed → world → metrics contract must be a pure function: the
+// process-global math/rand RNG (unseeded, shared), the wall clock
+// (time.Now/Since/Until), and crypto/rand (nondeterministic by design).
+// Seeded generators (rand.New(rand.NewPCG(...))) remain the only
+// sanctioned randomness. Timing-only call sites (progress meters) opt
+// out per line with //vvdlint:allow determinism -- reason.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall clock, global math/rand, and crypto/rand in deterministic packages",
+	Run:  runDeterminism,
+}
+
+// deterministicPkgs lists every package participating in the byte-exact
+// replay contract (PRs 1, 4, 5, 7). internal/serve is deliberately
+// absent: it is wall-clock-facing by design and injects time through its
+// Clock field. cmd/* and examples/* mains are also outside the set.
+var deterministicPkgs = map[string]bool{
+	"vvd/internal/camera":      true,
+	"vvd/internal/channel":     true,
+	"vvd/internal/core":        true,
+	"vvd/internal/dataset":     true,
+	"vvd/internal/dsp":         true,
+	"vvd/internal/dsp/fft":     true,
+	"vvd/internal/estimate":    true,
+	"vvd/internal/experiments": true,
+	"vvd/internal/kalman":      true,
+	"vvd/internal/mathx":       true,
+	"vvd/internal/mathx/gemm":  true,
+	"vvd/internal/metrics":     true,
+	"vvd/internal/nn":          true,
+	"vvd/internal/phy":         true,
+	"vvd/internal/report":      true,
+	"vvd/internal/room":        true,
+	"vvd/internal/scenario":    true,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !deterministicPkgs[basePkgPath(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "crypto/rand":
+				pass.Reportf(id.Pos(), "use of crypto/rand.%s in deterministic package %s: crypto/rand is nondeterministic by design; derive randomness from a seeded rand.New(rand.NewPCG(...))", obj.Name(), pass.Pkg.Path())
+			case "math/rand", "math/rand/v2":
+				f, ok := obj.(*types.Func)
+				if !ok {
+					return true
+				}
+				if sig, ok := f.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true // method on *rand.Rand etc. — seeded, fine
+				}
+				if strings.HasPrefix(f.Name(), "New") {
+					return true // constructors (New, NewPCG, NewChaCha8, ...)
+				}
+				pass.Reportf(id.Pos(), "call of global %s.%s in deterministic package %s: the process-global RNG is auto-seeded and shared; thread a seeded *rand.Rand instead", obj.Pkg().Path(), f.Name(), pass.Pkg.Path())
+			case "time":
+				f, ok := obj.(*types.Func)
+				if !ok || !pkgFuncNamed(f, "time", "Now", "Since", "Until") {
+					return true
+				}
+				pass.Reportf(id.Pos(), "call of time.%s in deterministic package %s: wall-clock reads break seed→output replay; inject a clock or move timing to the caller", f.Name(), pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}

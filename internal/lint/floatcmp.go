@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags == and != between two non-constant floating-point or
+// complex expressions. Bitwise float equality is almost always a
+// tolerance bug in numeric code; the sanctioned forms are a tolerance
+// comparison (math.Abs(a-b) <= eps, or the package's own helpers) or an
+// explicit opt-out for declared bit-exact contracts (parity tests,
+// frozen-format goldens):
+//
+//	//vvdlint:bitexact -- reason     (or //lint:bitexact)
+//
+// Comparisons against constants (x == 0 zero-guards, sentinel values)
+// and the NaN idiom (x != x) are deliberate bit-exact checks and are not
+// flagged.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "forbid ==/!= between non-constant float or complex expressions",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := pass.Info.Types[be.X], pass.Info.Types[be.Y]
+			if !isFloaty(xt.Type) && !isFloaty(yt.Type) {
+				return true
+			}
+			if xt.Value != nil || yt.Value != nil {
+				return true // constant guard/sentinel: deliberate
+			}
+			sx, sy := types.ExprString(be.X), types.ExprString(be.Y)
+			if sx == sy {
+				return true // x != x: the NaN test
+			}
+			pass.Reportf(be.OpPos, "bitwise %s on floating-point operands %s and %s: compare with a tolerance (math.Abs(a-b) <= eps) or declare the contract with //vvdlint:bitexact", be.Op, sx, sy)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloaty(t types.Type) bool {
+	b := underlyingBasic(t)
+	return b != nil && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

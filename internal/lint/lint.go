@@ -1,0 +1,251 @@
+// Package lint is vvd's in-tree static-analysis framework. It mirrors the
+// shape of golang.org/x/tools/go/analysis — Analyzer, Pass, Diagnostic —
+// but is built only on the standard library's go/ast and go/types so the
+// repo stays dependency-free. cmd/vvd-lint drives the analyzers in this
+// package over the module; linttest replays them over testdata corpora
+// with analysistest-style "// want" expectations.
+//
+// The analyzers mechanically enforce the repo's reproduction invariants:
+//
+//	determinism — no wall clock or ambient RNG in deterministic packages
+//	maporder    — no map-iteration-ordered output without a sort
+//	floatcmp    — no bitwise float equality outside declared parity code
+//	closecheck  — no discarded Close/Flush error on writable resources
+//	depfence    — the package layering DAG, encoded as a checked table
+//
+// Findings are suppressed line-by-line with directive comments:
+//
+//	//vvdlint:allow <analyzer>[,<analyzer>...] -- reason
+//	//vvdlint:bitexact -- reason   (alias for "allow floatcmp")
+//	//lint:bitexact                (accepted spelling of the same)
+//
+// A directive suppresses diagnostics on its own line and on the line
+// immediately following it, so both trailing and preceding placement work.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. It is the in-tree analogue
+// of analysis.Analyzer.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Package is one type-checked package ready for analysis.
+type Package struct {
+	// PkgPath is the import path ("vvd/internal/dsp"); external test
+	// packages carry their real "_test" suffix.
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+}
+
+// A Pass carries one (analyzer, package) unit of work, like analysis.Pass.
+type Pass struct {
+	*Package
+	Analyzer *Analyzer
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, with its position already resolved.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// All returns the full vvd-lint suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, MapOrder, FloatCmp, CloseCheck, DepFence}
+}
+
+// Run applies the analyzers to every package and returns the surviving
+// diagnostics (sorted by position) plus the number suppressed by
+// directives.
+func Run(pkgs []*Package, analyzers []*Analyzer) (diags []Diagnostic, suppressed int, err error) {
+	for _, pkg := range pkgs {
+		dirs := directivesFor(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{Package: pkg, Analyzer: a}
+			pass.report = func(d Diagnostic) {
+				if dirs.allows(a.Name, d.Pos) {
+					suppressed++
+					return
+				}
+				diags = append(diags, d)
+			}
+			if rerr := a.Run(pass); rerr != nil {
+				return nil, 0, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, rerr)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, suppressed, nil
+}
+
+// directives maps filename → line → set of analyzer names allowed there.
+type directives map[string]map[int]map[string]bool
+
+func (ds directives) allows(analyzer string, pos token.Position) bool {
+	lines := ds[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	set := lines[pos.Line]
+	return set[analyzer] || set["all"]
+}
+
+// directivesFor scans every comment in the package for suppression
+// directives. Each directive covers its own source line and the next one.
+func directivesFor(pkg *Package) directives {
+	ds := directives{}
+	add := func(pos token.Position, names []string) {
+		lines := ds[pos.Filename]
+		if lines == nil {
+			lines = map[int]map[string]bool{}
+			ds[pos.Filename] = lines
+		}
+		for _, ln := range []int{pos.Line, pos.Line + 1} {
+			set := lines[ln]
+			if set == nil {
+				set = map[string]bool{}
+				lines[ln] = set
+			}
+			for _, n := range names {
+				set[n] = true
+			}
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if names := parseDirective(c.Text); names != nil {
+					add(pkg.Fset.Position(c.Pos()), names)
+				}
+			}
+		}
+	}
+	return ds
+}
+
+// parseDirective returns the analyzer names a comment allows, or nil if
+// the comment is not a directive.
+func parseDirective(text string) []string {
+	body, ok := strings.CutPrefix(text, "//vvdlint:")
+	if !ok {
+		// The issue-specified spelling for the float opt-out.
+		if strings.HasPrefix(text, "//lint:bitexact") {
+			return []string{"floatcmp"}
+		}
+		return nil
+	}
+	// Strip a trailing "-- reason" clause.
+	if i := strings.Index(body, "--"); i >= 0 {
+		body = body[:i]
+	}
+	verb, rest, _ := strings.Cut(strings.TrimSpace(body), " ")
+	switch verb {
+	case "bitexact":
+		return []string{"floatcmp"}
+	case "allow":
+		var names []string
+		for _, n := range strings.Split(rest, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		return names
+	}
+	return nil
+}
+
+// basePkgPath strips the "_test" suffix an external test package carries,
+// so per-package policy tables apply to a package's tests too.
+func basePkgPath(path string) string {
+	return strings.TrimSuffix(path, "_test")
+}
+
+// isTestFile reports whether the file at pos is a _test.go file.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// funcOf resolves an expression to the top-level *types.Func it denotes
+// (for call targets like rand.Int64 or time.Now), or nil.
+func funcOf(info *types.Info, e ast.Expr) *types.Func {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[e].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[e.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// pkgFuncNamed reports whether f is a package-level function of pkgPath
+// (no receiver) — optionally restricted to the given names.
+func pkgFuncNamed(f *types.Func, pkgPath string, names ...string) bool {
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != pkgPath {
+		return false
+	}
+	if sig, ok := f.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	if len(names) == 0 {
+		return true
+	}
+	for _, n := range names {
+		if f.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// underlyingBasic returns the underlying *types.Basic of t, or nil.
+func underlyingBasic(t types.Type) *types.Basic {
+	if t == nil {
+		return nil
+	}
+	b, _ := t.Underlying().(*types.Basic)
+	return b
+}

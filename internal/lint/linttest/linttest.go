@@ -1,0 +1,139 @@
+// Package linttest replays lint analyzers over testdata corpora with
+// analysistest-style expectations: a comment
+//
+//	// want `regexp` [`regexp` ...]
+//
+// on a source line asserts that the analyzer reports a diagnostic on
+// that line matching each regexp, in order. Lines without a want comment
+// must produce no diagnostic — so a line carrying only a suppression
+// directive doubles as the analyzer's negative (allowlisted) case.
+package linttest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"vvd/internal/lint"
+)
+
+// Run loads the testdata/src tree below the test's working directory,
+// applies the analyzer to the named packages, and matches diagnostics
+// against the // want expectations in their sources. It returns the
+// number of diagnostics suppressed by directives so callers can assert
+// their negative (allowlisted) cases actually fired.
+func Run(t *testing.T, analyzer *lint.Analyzer, pkgPaths ...string) (suppressed int) {
+	t.Helper()
+	pkgs, err := lint.LoadTree(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("loading testdata: %v", err)
+	}
+	byPath := map[string]*lint.Package{}
+	for _, p := range pkgs {
+		byPath[p.PkgPath] = p
+	}
+	var targets []*lint.Package
+	for _, pp := range pkgPaths {
+		p, ok := byPath[pp]
+		if !ok {
+			t.Fatalf("package %q not found under testdata/src", pp)
+		}
+		targets = append(targets, p)
+	}
+
+	diags, suppressed, err := lint.Run(targets, []*lint.Analyzer{analyzer})
+	if err != nil {
+		t.Fatalf("running %s: %v", analyzer.Name, err)
+	}
+
+	wants := collectWants(t, targets)
+	for _, d := range diags {
+		key := posKey{d.Pos.Filename, d.Pos.Line}
+		ws := wants[key]
+		matched := false
+		for _, w := range ws {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", analyzer.Name, d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none", analyzer.Name, key.file, key.line, w.re)
+			}
+		}
+	}
+	return suppressed
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// collectWants scans the target packages' comments for want expectations.
+func collectWants(t *testing.T, pkgs []*lint.Package) map[posKey][]*want {
+	t.Helper()
+	wants := map[posKey][]*want{}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					body, ok := strings.CutPrefix(c.Text, "// want ")
+					if !ok {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					exprs, err := splitWant(body)
+					if err != nil {
+						t.Fatalf("%s:%d: %v", pos.Filename, pos.Line, err)
+					}
+					for _, e := range exprs {
+						re, err := regexp.Compile(e)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, e, err)
+						}
+						key := posKey{pos.Filename, pos.Line}
+						wants[key] = append(wants[key], &want{re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitWant extracts the quoted or backquoted regexps of a want clause.
+func splitWant(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			return nil, fmt.Errorf("want expectation must be a \" or ` quoted regexp, got %q", s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated want regexp in %q", s)
+		}
+		out = append(out, s[1:1+end])
+		s = strings.TrimSpace(s[2+end:])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want clause")
+	}
+	return out, nil
+}

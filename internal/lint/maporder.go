@@ -1,0 +1,250 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `for ... := range m` loops over maps whose iteration
+// order leaks into ordered output: values appended to (or stored into) a
+// slice that outlives the loop, printed through fmt/print, or sent on a
+// channel — without a subsequent sort of the collected slice in the same
+// function. Go randomizes map iteration order, so any such flow makes
+// output nondeterministic run-to-run; this is exactly the bug class the
+// registry Names() helpers hand-avoid by sorting before returning.
+//
+// Commutative aggregation (sums, counts, map-to-map copies) is not
+// flagged. Loops that are genuinely order-insensitive opt out with
+// //vvdlint:allow maporder -- reason.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "forbid map-iteration order from reaching ordered output without a sort",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkMapRanges(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		iterVars := rangeVarObjects(pass.Info, rng)
+		if len(iterVars) == 0 {
+			return true // `for range m` — iteration count only
+		}
+		sinks := findOrderSinks(pass, rng, iterVars)
+		for _, s := range sinks {
+			if s.sortable != "" && sortedAfter(pass, body, rng.End(), s.sortable) {
+				continue
+			}
+			pass.Reportf(rng.For, "map iteration order reaches %s: Go randomizes map order, so the output is nondeterministic; sort the collected slice (sort.* / slices.Sort*) or iterate sorted keys", s.what)
+			break // one report per loop
+		}
+		return true
+	})
+}
+
+// rangeVarObjects returns the objects bound to the loop's key/value.
+func rangeVarObjects(info *types.Info, rng *ast.RangeStmt) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil {
+				vars[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				vars[obj] = true // `for k = range m` assignment form
+			}
+		}
+	}
+	return vars
+}
+
+// An orderSink is one place map order escapes the loop. sortable names
+// the destination slice expression when sorting it later would fix the
+// order (append / indexed store); it is empty for print and send sinks,
+// which are ordered the moment they execute.
+type orderSink struct {
+	what     string
+	sortable string
+}
+
+func findOrderSinks(pass *Pass, rng *ast.RangeStmt, iterVars map[types.Object]bool) []orderSink {
+	var sinks []orderSink
+	usesIterVar := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && iterVars[pass.Info.Uses[id]] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if ok && isBuiltinAppend(pass.Info, call) && i < len(n.Lhs) {
+					argsUse := false
+					for _, a := range call.Args[1:] {
+						if usesIterVar(a) {
+							argsUse = true
+						}
+					}
+					// values[k] = append(values[k], ...) with k the map key
+					// is per-key deterministic: each key is visited once, so
+					// every destination slice keeps the outer (non-map)
+					// ordering regardless of iteration order.
+					if ix, isIx := ast.Unparen(n.Lhs[i]).(*ast.IndexExpr); isIx {
+						if t := pass.Info.Types[ix.X].Type; t != nil {
+							if _, destMap := t.Underlying().(*types.Map); destMap && usesIterVar(ix.Index) {
+								continue
+							}
+						}
+					}
+					if argsUse && declaredBefore(pass.Info, n.Lhs[i], rng.Pos()) {
+						sinks = append(sinks, orderSink{
+							what:     "a slice appended across iterations",
+							sortable: types.ExprString(n.Lhs[i]),
+						})
+					}
+				}
+			}
+			// Indexed store into an outer slice: s[i] = k.
+			for i, lhs := range n.Lhs {
+				ix, ok := lhs.(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				t := pass.Info.Types[ix.X].Type
+				if t == nil {
+					continue
+				}
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Array:
+				default:
+					continue
+				}
+				if i < len(n.Rhs) && usesIterVar(n.Rhs[i]) && declaredBefore(pass.Info, ix.X, rng.Pos()) {
+					sinks = append(sinks, orderSink{
+						what:     "an indexed store into a slice",
+						sortable: types.ExprString(ix.X),
+					})
+				}
+			}
+		case *ast.CallExpr:
+			if f := funcOf(pass.Info, n.Fun); f != nil && isPrintSink(f) {
+				for _, a := range n.Args {
+					if usesIterVar(a) {
+						sinks = append(sinks, orderSink{what: "a " + f.Pkg().Path() + "." + f.Name() + " call"})
+						break
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if usesIterVar(n.Value) {
+				sinks = append(sinks, orderSink{what: "a channel send"})
+			}
+		}
+		return true
+	})
+	return sinks
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append" && len(call.Args) > 1
+}
+
+// isPrintSink reports whether f emits formatted output in call order.
+func isPrintSink(f *types.Func) bool {
+	if f.Pkg() == nil {
+		return false
+	}
+	switch f.Pkg().Path() {
+	case "fmt":
+		switch f.Name() {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return true
+		}
+	}
+	return false
+}
+
+// declaredBefore reports whether the root identifier of e names an object
+// declared before pos — i.e. the destination outlives the loop body.
+func declaredBefore(info *types.Info, e ast.Expr, pos token.Pos) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := info.Uses[x]
+			if obj == nil {
+				obj = info.Defs[x]
+			}
+			return obj != nil && obj.Pos() < pos
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// sortedAfter reports whether a sort call mentioning dest appears after
+// pos anywhere in the enclosing function body.
+func sortedAfter(pass *Pass, body *ast.BlockStmt, pos token.Pos, dest string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || found {
+			return !found
+		}
+		f := funcOf(pass.Info, call.Fun)
+		if f == nil || f.Pkg() == nil {
+			return true
+		}
+		isSort := f.Pkg().Path() == "sort" ||
+			(f.Pkg().Path() == "slices" && strings.HasPrefix(f.Name(), "Sort"))
+		if !isSort {
+			return true
+		}
+		for _, a := range call.Args {
+			if strings.Contains(types.ExprString(a), dest) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

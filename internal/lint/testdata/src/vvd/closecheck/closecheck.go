@@ -1,0 +1,79 @@
+// Package closecheck is a linttest corpus for discarded Close/Flush
+// errors on writable resources.
+package closecheck
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+)
+
+// DeferredOnly never checks the file's Close error anywhere.
+func DeferredOnly(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `deferred Close error discarded on the success path`
+	_, err = f.Write([]byte("x"))
+	return err
+}
+
+// BareFlush drops the Flush error on the floor.
+func BareFlush(w io.Writer) {
+	bw := bufio.NewWriter(w)
+	fmt.Fprint(bw, "x")
+	bw.Flush() // want `Flush error discarded on the success path`
+}
+
+// Discarded assigns the Close error to the blank identifier.
+func Discarded(w io.Writer) {
+	zw := gzip.NewWriter(w)
+	_ = zw.Close() // want `Close error discarded on the success path`
+}
+
+// Backstop is the sanctioned create→write→close shape: the deferred
+// close is the error-path backstop for the checked close; not reported.
+func Backstop(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("x")); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ErrPath closes bare only inside the error branch; not reported.
+func ErrPath(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadOnly opens for reading; os.Open is not a tracked creator.
+func ReadOnly(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// Allowed is a genuine fire-and-forget site with the per-line opt-out.
+func Allowed(w io.Writer) {
+	bw := bufio.NewWriter(w)
+	fmt.Fprint(bw, "x")
+	bw.Flush() //vvdlint:allow closecheck -- best-effort debug dump; loss is acceptable
+}

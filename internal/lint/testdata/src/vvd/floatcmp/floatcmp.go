@@ -1,0 +1,42 @@
+// Package floatcmp is a linttest corpus for bitwise float equality.
+package floatcmp
+
+// Eq compares two float64s bitwise.
+func Eq(a, b float64) bool {
+	return a == b // want `bitwise == on floating-point operands a and b`
+}
+
+// Neq32 compares two float32s bitwise.
+func Neq32(a, b float32) bool {
+	return a != b // want `bitwise != on floating-point operands a and b`
+}
+
+// EqComplex compares two complex128s bitwise.
+func EqComplex(a, b complex128) bool {
+	return a == b // want `bitwise == on floating-point operands a and b`
+}
+
+// ZeroGuard compares against a constant sentinel; deliberate, not reported.
+func ZeroGuard(x float64) bool {
+	return x == 0
+}
+
+// IsNaN is the x != x idiom; deliberate, not reported.
+func IsNaN(x float64) bool {
+	return x != x
+}
+
+// IntEq has no floating operands; not reported.
+func IntEq(a, b int) bool {
+	return a == b
+}
+
+// BitExact declares a bit-exact contract with the vvdlint spelling.
+func BitExact(a, b float64) bool {
+	return a == b //vvdlint:bitexact -- declared golden-parity contract
+}
+
+// BitExactLegacy declares the same contract with the lint: spelling.
+func BitExactLegacy(a, b float64) bool {
+	return a == b //lint:bitexact
+}

@@ -1,0 +1,7 @@
+// Package kalman is a linttest corpus: the serve import below violates
+// the table but carries an allow directive, so it must be suppressed.
+package kalman
+
+import (
+	_ "vvd/internal/serve" //vvdlint:allow depfence -- linttest fixture for the suppressed path
+)

@@ -1,0 +1,7 @@
+// Package mathx is a linttest corpus: mathx is a leaf of the layering
+// DAG, so importing serve inverts the architecture.
+package mathx
+
+import (
+	_ "vvd/internal/serve" // want `import of vvd/internal/serve from vvd/internal/mathx violates the layering table`
+)

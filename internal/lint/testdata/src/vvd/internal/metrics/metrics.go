@@ -1,0 +1,15 @@
+// Package metrics is a linttest corpus leaf: a real symbol for the
+// report corpus to import through an allowed edge.
+package metrics
+
+// Mean averages xs.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,10 @@
+// Package report is a linttest corpus: report → metrics is an edge the
+// layering table allows, so depfence reports nothing here.
+package report
+
+import "vvd/internal/metrics"
+
+// Summary averages through the allowed import.
+func Summary(xs []float64) float64 {
+	return metrics.Mean(xs)
+}

@@ -1,0 +1,8 @@
+// Package rogue is a linttest corpus: an internal package that nobody
+// added to the depfence table. Its first intra-module import demands a
+// table entry.
+package rogue
+
+import (
+	_ "vvd/internal/metrics" // want `package vvd/internal/rogue is not in the depfence layering table`
+)

@@ -1,0 +1,11 @@
+// Package serve is a linttest corpus standing in for the one wall-clock-
+// facing internal package: it is outside the deterministic set, so the
+// time.Now below must NOT be reported.
+package serve
+
+import "time"
+
+// Now reads the wall clock; legal in this package by policy.
+func Now() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,78 @@
+// Package maporder is a linttest corpus for map-iteration-order leaks.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Bad collects keys in map order and returns them unsorted.
+func Bad(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order reaches a slice appended across iterations`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// BadPrint prints entries in map order.
+func BadPrint(m map[string]int) {
+	for k, v := range m { // want `map iteration order reaches a fmt\.Printf call`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// Fill stores keys into a pre-sized slice, still in map order.
+func Fill(m map[string]int) []string {
+	out := make([]string, len(m))
+	i := 0
+	for k := range m { // want `map iteration order reaches an indexed store into a slice`
+		out[i] = k
+		i++
+	}
+	return out
+}
+
+// Stream sends keys on a channel in map order.
+func Stream(m map[string]int, ch chan<- string) {
+	for k := range m { // want `map iteration order reaches a channel send`
+		ch <- k
+	}
+}
+
+// Sorted collects then sorts — the sanctioned shape; not reported.
+func Sorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// PerKey groups values under their own key: each destination slice keeps
+// the outer ordering regardless of iteration order; not reported.
+func PerKey(groups map[string][]int, m map[string]int) map[string][]int {
+	for k, v := range m {
+		groups[k] = append(groups[k], v)
+	}
+	return groups
+}
+
+// Sum is commutative aggregation; not reported.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Allowed is a genuinely order-insensitive dump with the per-line
+// opt-out; the report on the for line is suppressed.
+func Allowed(m map[string]int) {
+	//vvdlint:allow maporder -- diagnostic dump; consumer treats lines as a set
+	for k := range m {
+		fmt.Println(k)
+	}
+}

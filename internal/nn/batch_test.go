@@ -60,7 +60,7 @@ func TestForwardBatchMatchesForward(t *testing.T) {
 				t.Fatalf("batch %d sample %d: output size %d, want %d", batch, s, len(got[s]), len(want))
 			}
 			for i := range want {
-				if got[s][i] != want[i] {
+				if got[s][i] != want[i] { //vvdlint:bitexact -- batch and engine parity vs Forward is bitwise by contract
 					t.Fatalf("batch %d sample %d output %d: batched %v != sequential %v",
 						batch, s, i, got[s][i], want[i])
 				}
@@ -104,7 +104,7 @@ func TestForwardBatchConcurrent(t *testing.T) {
 			}
 			for s := range want {
 				for i := range want[s] {
-					if got[s][i] != want[s][i] {
+					if got[s][i] != want[s][i] { //vvdlint:bitexact -- batch and engine parity vs Forward is bitwise by contract
 						t.Errorf("concurrent ForwardBatch diverged at sample %d output %d", s, i)
 						return
 					}

@@ -127,7 +127,7 @@ func TestInferenceEngineBatchBitwise(t *testing.T) {
 					t.Fatal(err)
 				}
 				for i := range single[0] {
-					if batch[s][i] != single[0][i] {
+					if batch[s][i] != single[0][i] { //vvdlint:bitexact -- batch and engine parity vs Forward is bitwise by contract
 						t.Fatalf("sample %d out[%d]: batch %g != single %g", s, i, batch[s][i], single[0][i])
 					}
 				}
@@ -158,7 +158,7 @@ func TestForwardBatchPooledBuffers(t *testing.T) {
 				t.Fatal(err)
 			}
 			for i := range want {
-				if outs[s][i] != want[i] {
+				if outs[s][i] != want[i] { //vvdlint:bitexact -- batch and engine parity vs Forward is bitwise by contract
 					t.Fatalf("batch %d sample %d out[%d]: %g != Forward %g", batch, s, i, outs[s][i], want[i])
 				}
 			}
@@ -184,7 +184,7 @@ func TestPool2DOddInput(t *testing.T) {
 	}
 	got := p.Forward(in)
 	want := []float64{(1 + 2 + 5 + 6) / 4.0, (3 + 4 + 7 + 8) / 4.0}
-	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] { //vvdlint:bitexact -- batch and engine parity vs Forward is bitwise by contract
 		t.Fatalf("odd pool forward %v, want %v", got, want)
 	}
 }
@@ -278,7 +278,7 @@ func TestInferenceEngineForwardBatchInto(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range out {
-		if out[i] != ref[0][i] {
+		if out[i] != ref[0][i] { //vvdlint:bitexact -- batch and engine parity vs Forward is bitwise by contract
 			t.Fatalf("Into out[%d]=%g != %g", i, out[i], ref[0][i])
 		}
 	}

@@ -375,7 +375,7 @@ func TestCloneForwardMatches(t *testing.T) {
 	a, _ := net.Forward(x)
 	b, _ := clone.Forward(x)
 	for i := range a {
-		if a[i] != b[i] {
+		if a[i] != b[i] { //vvdlint:bitexact -- batch and engine parity vs Forward is bitwise by contract
 			t.Fatal("clone forward differs")
 		}
 	}

@@ -99,7 +99,9 @@ func (s *Service) CloseLink(id string) bool {
 	return ok
 }
 
-// Links returns a snapshot of every open session, sorted by id.
+// Links returns a snapshot of every open session, sorted by id. The
+// collected slice is sorted before any per-link state is touched, so map
+// iteration order never reaches the output (vvd-lint maporder).
 func (s *Service) Links() []LinkStats {
 	s.state.RLock()
 	links := make([]*Link, 0, len(s.links))
@@ -107,11 +109,11 @@ func (s *Service) Links() []LinkStats {
 		links = append(links, l)
 	}
 	s.state.RUnlock()
+	sort.Slice(links, func(i, j int) bool { return links[i].id < links[j].id })
 	out := make([]LinkStats, len(links))
 	for i, l := range links {
 		out[i] = l.Stats()
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 

@@ -393,6 +393,7 @@ func (s *Service) publish(frames []Frame, cirs [][]complex128, lat time.Duration
 		s.inferMax = lat
 	}
 	links := make([]*Link, 0, len(s.links))
+	//vvdlint:allow maporder -- fan-out to independent per-link inboxes; each link sees every estimate in order, cross-link delivery order is immaterial
 	for _, l := range s.links {
 		links = append(links, l)
 	}
