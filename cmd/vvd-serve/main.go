@@ -7,6 +7,7 @@
 //
 //	vvd-serve -model vvd.model -addr :8990
 //	vvd-serve -demo
+//	vvd-serve -stub 1.6ms -wire :9990     # benchmark backend, binary protocol
 //
 // With -model, the server waits for depth frames to be POSTed (a camera
 // gateway would do this); -demo instead simulates the whole deployment:
@@ -22,6 +23,12 @@
 //	GET    /links                     per-session serving statistics
 //	DELETE /links?id=sensor-1         close a link session
 //	GET    /metricsz                  pipeline counters
+//
+// With -wire ADDR the same service also listens for the binary wire
+// protocol (internal/wire) — the transport vvd-router and vvd-load
+// speak. With -stub DURATION the server runs serve.StubEstimator at a
+// fixed per-batch cost instead of a model: a benchmark backend of known
+// capacity for cluster measurements.
 //
 // Try it:
 //
@@ -44,29 +51,38 @@ import (
 	"vvd/internal/dataset"
 	"vvd/internal/nn"
 	"vvd/internal/serve"
+	"vvd/internal/wire"
 )
 
 func main() {
 	var (
-		modelPath = flag.String("model", "vvd.model", "model file from vvd-train")
-		addr      = flag.String("addr", ":8990", "HTTP listen address")
-		queue     = flag.Int("queue", 8, "frame queue depth (drop-oldest beyond)")
-		batch     = flag.Int("batch", 8, "max frames per batched inference")
-		linkBuf   = flag.Int("linkbuf", 4, "per-link estimate inbox depth")
-		maxLinks  = flag.Int("maxlinks", 10000, "max open link sessions (0 = unlimited)")
-		demo      = flag.Bool("demo", false, "train a tiny model and feed simulated camera frames")
-		quant     = flag.Bool("quant", false, "int8 quantized inference (calibrates on the first frames, then switches)")
+		modelPath  = flag.String("model", "vvd.model", "model file from vvd-train")
+		addr       = flag.String("addr", ":8990", "HTTP listen address")
+		wireAddr   = flag.String("wire", "", "also listen for the binary wire protocol on this address (empty = HTTP only)")
+		queue      = flag.Int("queue", 8, "frame queue depth (drop-oldest beyond)")
+		batch      = flag.Int("batch", 8, "max frames per batched inference")
+		linkBuf    = flag.Int("linkbuf", 4, "per-link estimate inbox depth")
+		maxLinks   = flag.Int("maxlinks", 10000, "max open link sessions (0 = unlimited)")
+		demo       = flag.Bool("demo", false, "train a tiny model and feed simulated camera frames")
+		quant      = flag.Bool("quant", false, "int8 quantized inference (calibrates on the first frames, then switches)")
+		stub       = flag.Duration("stub", -1, "serve a stub estimator with this fixed per-batch latency instead of a model (0 for instant; negative disables)")
+		stubPixels = flag.Int("stub-pixels", 4500, "frame size the stub estimator accepts")
 	)
 	flag.Parse()
 
 	var model *core.VVD
 	var feed [][]float32
-	if *demo {
+	switch {
+	case *stub >= 0:
+		// Benchmark backend: deterministic CIRs at a known per-batch
+		// cost, no model required (see serve.StubEstimator).
+		fmt.Printf("stub estimator: %d-pixel frames, %v per batch\n", *stubPixels, *stub)
+	case *demo:
 		var err error
 		if model, feed, err = demoModel(); err != nil {
 			fatal(err)
 		}
-	} else {
+	default:
 		f, err := os.Open(*modelPath)
 		if err != nil {
 			fatal(fmt.Errorf("%w (train one with vvd-train, or use -demo)", err))
@@ -79,7 +95,7 @@ func main() {
 		fmt.Printf("loaded %s: VVD lag %d, %d parameters\n", *modelPath, model.Lag, model.Net.NumParams())
 	}
 
-	if *quant {
+	if *quant && model != nil {
 		if feed != nil {
 			// Demo mode has representative frames up front: calibrate now.
 			calib := feed
@@ -95,14 +111,20 @@ func main() {
 		fmt.Printf("quantization: inference mode %s\n", model.InferenceMode())
 	}
 
-	svc, err := serve.New(serve.Config{
-		Estimator:  model,
-		InputSize:  model.Net.In.Size(),
+	scfg := serve.Config{
 		QueueDepth: *queue,
 		MaxBatch:   *batch,
 		LinkBuffer: *linkBuf,
 		MaxLinks:   *maxLinks,
-	})
+	}
+	if model != nil {
+		scfg.Estimator = model
+		scfg.InputSize = model.Net.In.Size()
+	} else {
+		scfg.Estimator = &serve.StubEstimator{Latency: *stub}
+		scfg.InputSize = *stubPixels
+	}
+	svc, err := serve.New(scfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -110,6 +132,16 @@ func main() {
 	stopFeed := make(chan struct{})
 	if feed != nil {
 		go runCamera(svc, feed, stopFeed)
+	}
+
+	var wireServer *wire.Server
+	if *wireAddr != "" {
+		wireServer = wire.NewServer(wire.NewServiceHandler(svc), wire.ServerConfig{})
+		bound, err := wireServer.Listen(*wireAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wire protocol on %s\n", bound)
 	}
 
 	server := &http.Server{Addr: *addr, Handler: serve.NewHandler(svc)}
@@ -128,6 +160,9 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	_ = server.Shutdown(ctx)
+	if wireServer != nil {
+		_ = wireServer.Close()
+	}
 	_ = svc.Close()
 	m := svc.Metrics()
 	fmt.Printf("served %d estimates over %d links; %d frames inferred in %d batches (mean %.1f/batch, infer mean %v/frame)\n",

@@ -1,17 +1,20 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 )
 
 // NewHandler exposes a Service over HTTP/JSON (stdlib only):
 //
 //	POST   /estimate   {"link":"a","image":[...]}  submit a frame, wait for
-//	                   its (or a newer) estimate and return it
+//	                   its (or a newer) estimate and return it; wait_ms<0
+//	                   submits without waiting (fire-and-forget feeders)
 //	GET    /estimate?link=a                        freshest estimate for a link
 //	GET    /links                                  per-session statistics
 //	DELETE /links?id=a                             close a session
@@ -20,6 +23,11 @@ import (
 // Link sessions are opened on first use (429 once Config.MaxLinks is
 // reached — set it on Internet-facing services). CIRs travel as
 // [[re,im], ...] pairs and durations as milliseconds.
+//
+// The session flow itself lives in Service.SubmitAndWait/Fetch — this
+// file only maps the serve error taxonomy onto HTTP status codes and
+// JSON shapes; internal/wire maps the same flow onto the binary
+// protocol.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /estimate", func(w http.ResponseWriter, r *http.Request) {
@@ -31,13 +39,19 @@ func NewHandler(s *Service) http.Handler {
 			maxBody = int64(s.cfg.InputSize)*32 + 4096
 		}
 		r.Body = http.MaxBytesReader(w, r.Body, maxBody)
-		var req estimateRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		body := bodyPool.Get().(*bytes.Buffer)
+		defer func() { body.Reset(); bodyPool.Put(body) }()
+		if _, err := body.ReadFrom(r.Body); err != nil {
 			var tooLarge *http.MaxBytesError
 			if errors.As(err, &tooLarge) {
 				httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
 				return
 			}
+			httpError(w, http.StatusBadRequest, "reading body: %v", err)
+			return
+		}
+		var req estimateRequest
+		if err := json.Unmarshal(body.Bytes(), &req); err != nil {
 			httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
 			return
 		}
@@ -45,43 +59,35 @@ func NewHandler(s *Service) http.Handler {
 			httpError(w, http.StatusBadRequest, "missing link id")
 			return
 		}
-		link, err := s.Link(req.Link)
-		if err != nil {
-			httpError(w, http.StatusTooManyRequests, "%v", err)
-			return
-		}
 		if len(req.Image) == 0 {
-			serveLatest(w, s, link)
+			serveFetch(w, s, req.Link)
 			return
 		}
-		seq, dropped, err := s.Submit(req.Image)
-		if err != nil {
-			// A closed service is a server-side condition (estimator
-			// failure or shutdown), not a malformed request.
-			if errors.Is(err, ErrClosed) {
-				httpError(w, http.StatusServiceUnavailable, "%v", err)
-			} else {
-				httpError(w, http.StatusBadRequest, "%v", err)
+		if req.WaitMS < 0 {
+			// Fire-and-forget submission: camera feeders push frames
+			// without consuming the estimate stream.
+			res, err := s.SubmitFor(req.Link, req.Image)
+			if err != nil {
+				httpError(w, statusFor(err), "%v", err)
+				return
 			}
+			writeJSON(w, submitResponse{Link: req.Link, SubmittedSeq: res.SubmittedSeq, DroppedOldest: res.DroppedOldest})
 			return
 		}
-		wait := 2 * time.Second
-		if req.WaitMS > 0 {
-			wait = time.Duration(req.WaitMS) * time.Millisecond
-		}
-		if _, ok := s.WaitFor(seq, wait); !ok {
-			httpError(w, http.StatusGatewayTimeout, "estimate for frame %d not ready after %v", seq, wait)
+		res, err := s.SubmitAndWait(req.Link, req.Image, time.Duration(req.WaitMS)*time.Millisecond)
+		if err != nil {
+			if errors.Is(err, ErrNotReady) {
+				httpError(w, http.StatusGatewayTimeout, "%v", err)
+				return
+			}
+			if errors.Is(err, ErrNoEstimate) {
+				httpError(w, http.StatusServiceUnavailable, "no estimate published")
+				return
+			}
+			httpError(w, statusFor(err), "%v", err)
 			return
 		}
-		e, ok := link.Latest()
-		if !ok {
-			httpError(w, http.StatusServiceUnavailable, "no estimate published")
-			return
-		}
-		writeJSON(w, estimateResponse{
-			Link: link.ID(), FrameSeq: e.FrameSeq, SubmittedSeq: seq, DroppedOldest: dropped,
-			CIR: cirPairs(e.CIR), AgeMS: ms(e.AgeAt(s.clock())), InferenceMS: ms(e.Inference), Batch: e.Batch,
-		})
+		writeEstimate(w, s, req.Link, res.Estimate, res.SubmittedSeq, res.DroppedOldest)
 	})
 	mux.HandleFunc("GET /estimate", func(w http.ResponseWriter, r *http.Request) {
 		id := r.URL.Query().Get("link")
@@ -89,12 +95,7 @@ func NewHandler(s *Service) http.Handler {
 			httpError(w, http.StatusBadRequest, "missing ?link=")
 			return
 		}
-		link, err := s.Link(id)
-		if err != nil {
-			httpError(w, http.StatusTooManyRequests, "%v", err)
-			return
-		}
-		serveLatest(w, s, link)
+		serveFetch(w, s, id)
 	})
 	mux.HandleFunc("DELETE /links", func(w http.ResponseWriter, r *http.Request) {
 		id := r.URL.Query().Get("id")
@@ -128,10 +129,30 @@ func NewHandler(s *Service) http.Handler {
 			InferMeanMS: ms(m.InferMean), InferFrameMeanMS: ms(m.InferMeanFrame),
 			InferMaxMS: ms(m.InferMax), LastSeq: m.LastSeq,
 			QueueLen: m.QueueLen, QueueCap: m.QueueCap, ActiveLinks: m.ActiveLinks,
-			EstimatesServed: m.EstimatesServed, InferMode: m.InferMode, Err: m.Err,
+			EstimatesServed: m.EstimatesServed,
+			AgeP50MS:        ms(m.AgeP50), AgeP99MS: ms(m.AgeP99),
+			InferMode: m.InferMode, Err: m.Err,
 		})
 	})
 	return mux
+}
+
+// statusFor maps the serve error taxonomy onto HTTP status codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrLinkLimit):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		// A closed service is a server-side condition (estimator failure
+		// or shutdown), not a malformed request.
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrNotReady):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrNoEstimate):
+		return http.StatusNotFound
+	default:
+		return http.StatusBadRequest
+	}
 }
 
 type estimateRequest struct {
@@ -149,6 +170,12 @@ type estimateResponse struct {
 	AgeMS         float64      `json:"age_ms"`
 	InferenceMS   float64      `json:"inference_ms"`
 	Batch         int          `json:"batch"`
+}
+
+type submitResponse struct {
+	Link          string `json:"link"`
+	SubmittedSeq  uint64 `json:"submitted_seq"`
+	DroppedOldest bool   `json:"dropped_oldest,omitempty"`
 }
 
 type linkJSON struct {
@@ -176,37 +203,68 @@ type metricsJSON struct {
 	QueueCap         int     `json:"queue_cap"`
 	ActiveLinks      int     `json:"active_links"`
 	EstimatesServed  uint64  `json:"estimates_served"`
+	AgeP50MS         float64 `json:"age_p50_ms"`               // served-age percentiles over the
+	AgeP99MS         float64 `json:"age_p99_ms"`               // recent window — the tail signal
 	InferMode        string  `json:"inference_mode,omitempty"` // float32 / int8 / int8-calibrating
 	Err              string  `json:"err,omitempty"`
 }
 
-func serveLatest(w http.ResponseWriter, s *Service, link *Link) {
-	e, ok := link.Latest()
-	if !ok {
-		httpError(w, http.StatusNotFound, "no estimate published yet")
+func serveFetch(w http.ResponseWriter, s *Service, linkID string) {
+	e, err := s.Fetch(linkID)
+	if err != nil {
+		httpError(w, statusFor(err), "%v", err)
 		return
 	}
-	writeJSON(w, estimateResponse{
-		Link: link.ID(), FrameSeq: e.FrameSeq, CIR: cirPairs(e.CIR),
-		AgeMS: ms(e.AgeAt(s.clock())), InferenceMS: ms(e.Inference), Batch: e.Batch,
-	})
+	writeEstimate(w, s, linkID, e, 0, false)
 }
 
-func cirPairs(cir []complex128) [][2]float64 {
-	out := make([][2]float64, len(cir))
-	for i, c := range cir {
-		out[i] = [2]float64{real(c), imag(c)}
+// Per-request scratch, pooled: the POST body buffer above, and below the
+// response encode buffer plus the [[re,im],...] CIR pair slice. The hot
+// /estimate path allocates only what it must hand off (the decoded image
+// travels into the frame queue, so its buffer cannot be reused) — pinned
+// by BenchmarkHTTPEstimate{Post,Get} with -benchmem.
+var bodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+type respScratch struct {
+	buf   bytes.Buffer
+	pairs [][2]float64
+}
+
+var respPool = sync.Pool{New: func() any { return new(respScratch) }}
+
+func writeEstimate(w http.ResponseWriter, s *Service, linkID string, e Estimate, submitted uint64, dropped bool) {
+	rs := respPool.Get().(*respScratch)
+	defer func() { rs.buf.Reset(); respPool.Put(rs) }()
+	rs.pairs = appendCIRPairs(rs.pairs[:0], e.CIR)
+	encodeJSON(&rs.buf, estimateResponse{
+		Link: linkID, FrameSeq: e.FrameSeq, SubmittedSeq: submitted, DroppedOldest: dropped,
+		CIR: rs.pairs, AgeMS: ms(e.AgeAt(s.clock())), InferenceMS: ms(e.Inference), Batch: e.Batch,
+	})
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(rs.buf.Bytes())
+}
+
+func appendCIRPairs(dst [][2]float64, cir []complex128) [][2]float64 {
+	for _, c := range cir {
+		dst = append(dst, [2]float64{real(c), imag(c)})
 	}
-	return out
+	return dst
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
+func encodeJSON(buf *bytes.Buffer, v any) {
+	enc := json.NewEncoder(buf)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	rs := respPool.Get().(*respScratch)
+	defer func() { rs.buf.Reset(); respPool.Put(rs) }()
+	encodeJSON(&rs.buf, v)
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(rs.buf.Bytes())
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {

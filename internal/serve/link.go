@@ -58,7 +58,7 @@ func (s *Service) OpenLink(id string) (*Link, error) {
 		return nil, fmt.Errorf("serve: link %q already open", id)
 	}
 	if s.cfg.MaxLinks > 0 && len(s.links) >= s.cfg.MaxLinks {
-		return nil, fmt.Errorf("serve: link session limit (%d) reached", s.cfg.MaxLinks)
+		return nil, fmt.Errorf("%w (%d)", ErrLinkLimit, s.cfg.MaxLinks)
 	}
 	l := &Link{id: id, svc: s, notify: make(chan struct{}, 1), openedAt: s.clock()}
 	s.links[id] = l
@@ -199,6 +199,7 @@ func (l *Link) record(e Estimate) {
 	}
 	l.mu.Unlock()
 	l.svc.served.Add(1)
+	l.svc.ages.record(age)
 }
 
 // offer pushes a published estimate into the inbox, evicting the oldest

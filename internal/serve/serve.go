@@ -115,9 +115,11 @@ type Metrics struct {
 	QueueLen        int
 	QueueCap        int
 	ActiveLinks     int
-	EstimatesServed uint64 // Latest/Next reads across all sessions, ever
-	InferMode       string // estimator kernel set, when it reports one
-	Err             string // first estimator error, if any
+	EstimatesServed uint64        // Latest/Next reads across all sessions, ever
+	AgeP50          time.Duration // median served-estimate age (recent window)
+	AgeP99          time.Duration // tail served-estimate age — mean/max hide this
+	InferMode       string        // estimator kernel set, when it reports one
+	Err             string        // first estimator error, if any
 }
 
 // Service is the multi-link estimation pipeline. Create with New, feed
@@ -146,6 +148,7 @@ type Service struct {
 	err         error
 
 	served atomic.Uint64 // Latest/Next reads across all sessions
+	ages   ageSampler    // recent served ages for the percentile snapshot
 
 	pubMu   sync.Mutex // publish broadcast for WaitFor
 	pubCh   chan struct{}
@@ -254,6 +257,10 @@ func (s *Service) WaitFor(seq uint64, timeout time.Duration) (Estimate, bool) {
 	}
 }
 
+// Now reads the service clock (Config.Clock) — the time base every
+// transport must use when stamping estimate ages.
+func (s *Service) Now() time.Time { return s.clock() }
+
 // Err returns the first estimator error, if any.
 func (s *Service) Err() error {
 	s.state.RLock()
@@ -288,6 +295,7 @@ func (s *Service) Metrics() Metrics {
 	m.LastSeq = s.latest.FrameSeq
 	m.ActiveLinks = len(s.links)
 	m.EstimatesServed = s.served.Load()
+	m.AgeP50, m.AgeP99 = s.ages.percentiles()
 	if s.err != nil {
 		m.Err = s.err.Error()
 	}

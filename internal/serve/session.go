@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// DefaultWait is how long SubmitAndWait blocks for the submitted frame's
+// estimate when the caller does not say — a few camera frame periods.
+const DefaultWait = 2 * time.Second
+
+// Transport-agnostic error taxonomy: every protocol front-end (HTTP/JSON
+// in this package, the binary wire protocol in internal/wire) maps these
+// sentinels onto its own status codes instead of re-implementing the
+// session flow.
+var (
+	// ErrNoEstimate: the service has not published a single estimate yet.
+	ErrNoEstimate = errors.New("serve: no estimate published yet")
+	// ErrNotReady: the submitted frame's estimate did not arrive within
+	// the wait budget (the frame may still be inferred later).
+	ErrNotReady = errors.New("serve: estimate not ready")
+	// ErrLinkLimit: Config.MaxLinks open sessions already exist.
+	ErrLinkLimit = errors.New("serve: link session limit reached")
+)
+
+// SubmitResult is the outcome of one SubmitAndWait call: the estimate
+// served to the link plus the submission bookkeeping the transports echo
+// back to the client.
+type SubmitResult struct {
+	Estimate
+	SubmittedSeq  uint64 // sequence assigned to the submitted frame
+	DroppedOldest bool   // submission evicted the oldest queued frame
+}
+
+// SubmitAndWait is the whole "POST a frame" session flow with no
+// transport attached: resolve (auto-open) the link session, submit the
+// frame, wait until an estimate for it — or a newer frame, freshest-wins —
+// is published, and serve that estimate through the link so the session
+// statistics record it. wait <= 0 means DefaultWait.
+//
+// Errors are the package sentinels (possibly wrapped): ErrLinkLimit,
+// ErrClosed, ErrNotReady, ErrNoEstimate; anything else is a malformed
+// frame (wrong pixel count, empty image).
+func (s *Service) SubmitAndWait(linkID string, img []float32, wait time.Duration) (SubmitResult, error) {
+	if len(img) == 0 {
+		return SubmitResult{}, fmt.Errorf("serve: empty frame")
+	}
+	link, err := s.Link(linkID)
+	if err != nil {
+		return SubmitResult{}, err
+	}
+	seq, dropped, err := s.Submit(img)
+	if err != nil {
+		return SubmitResult{}, err
+	}
+	res := SubmitResult{SubmittedSeq: seq, DroppedOldest: dropped}
+	if wait <= 0 {
+		wait = DefaultWait
+	}
+	if _, ok := s.WaitFor(seq, wait); !ok {
+		select {
+		case <-s.done:
+			return res, ErrClosed
+		default:
+			return res, fmt.Errorf("%w: frame %d after %v", ErrNotReady, seq, wait)
+		}
+	}
+	e, ok := link.Latest()
+	if !ok {
+		return res, ErrNoEstimate
+	}
+	res.Estimate = e
+	return res, nil
+}
+
+// SubmitFor submits a frame on behalf of a link session without waiting
+// for its estimate — the fire-and-forget half of SubmitAndWait, used by
+// camera feeders that only push frames while other sessions read.
+func (s *Service) SubmitFor(linkID string, img []float32) (SubmitResult, error) {
+	if len(img) == 0 {
+		return SubmitResult{}, fmt.Errorf("serve: empty frame")
+	}
+	if _, err := s.Link(linkID); err != nil {
+		return SubmitResult{}, err
+	}
+	seq, dropped, err := s.Submit(img)
+	if err != nil {
+		return SubmitResult{}, err
+	}
+	return SubmitResult{SubmittedSeq: seq, DroppedOldest: dropped}, nil
+}
+
+// Fetch is the transport-agnostic "GET the freshest estimate" flow:
+// resolve (auto-open) the link session and serve the latest published
+// estimate through it. ErrNoEstimate before the first publish.
+func (s *Service) Fetch(linkID string) (Estimate, error) {
+	link, err := s.Link(linkID)
+	if err != nil {
+		return Estimate{}, err
+	}
+	e, ok := link.Latest()
+	if !ok {
+		return Estimate{}, ErrNoEstimate
+	}
+	return e, nil
+}

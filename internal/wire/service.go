@@ -1,0 +1,144 @@
+package wire
+
+import (
+	"errors"
+	"time"
+
+	"vvd/internal/serve"
+)
+
+// ServiceHandler adapts a serve.Service to the wire Handler interface:
+// the same transport-agnostic session flow the HTTP layer uses
+// (Service.SubmitAndWait / Fetch), with the serve error taxonomy mapped
+// onto wire status codes instead of HTTP ones.
+type ServiceHandler struct {
+	svc *serve.Service
+}
+
+// NewServiceHandler wraps a running Service.
+func NewServiceHandler(svc *serve.Service) *ServiceHandler {
+	return &ServiceHandler{svc: svc}
+}
+
+// statusErr maps the serve error taxonomy onto wire statuses — the
+// binary twin of the HTTP layer's statusFor.
+func statusErr(err error) error {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return err
+	}
+	code := StatusBadRequest
+	switch {
+	case errors.Is(err, serve.ErrLinkLimit):
+		code = StatusTooManyLinks
+	case errors.Is(err, serve.ErrClosed):
+		code = StatusUnavailable
+	case errors.Is(err, serve.ErrNotReady):
+		code = StatusNotReady
+	case errors.Is(err, serve.ErrNoEstimate):
+		code = StatusNoEstimate
+	}
+	return &StatusError{Code: code, Msg: err.Error()}
+}
+
+// fillEstimate converts a served estimate into the wire reply, reusing
+// the reply's CIR capacity. The float64→float32 narrowing is lossless
+// in practice: the inference engine computes float32 (PR 6).
+func fillEstimate(reply *EstimateReply, e serve.Estimate, now time.Time) {
+	reply.FrameSeq = e.FrameSeq
+	reply.Batch = e.Batch
+	reply.Age = e.AgeAt(now)
+	reply.Inference = e.Inference
+	reply.CIR = reply.CIR[:0]
+	for _, c := range e.CIR {
+		reply.CIR = append(reply.CIR, complex64(c))
+	}
+}
+
+// Submit implements Handler.
+func (h *ServiceHandler) Submit(link string, img []float32, wait time.Duration, reply *EstimateReply) error {
+	if wait < 0 {
+		res, err := h.svc.SubmitFor(link, img)
+		if err != nil {
+			return statusErr(err)
+		}
+		*reply = EstimateReply{SubmittedSeq: res.SubmittedSeq, DroppedOldest: res.DroppedOldest, CIR: reply.CIR[:0]}
+		return nil
+	}
+	res, err := h.svc.SubmitAndWait(link, img, wait)
+	if err != nil {
+		return statusErr(err)
+	}
+	fillEstimate(reply, res.Estimate, h.svc.Now())
+	reply.SubmittedSeq = res.SubmittedSeq
+	reply.DroppedOldest = res.DroppedOldest
+	return nil
+}
+
+// Fetch implements Handler.
+func (h *ServiceHandler) Fetch(link string, reply *EstimateReply) error {
+	e, err := h.svc.Fetch(link)
+	if err != nil {
+		return statusErr(err)
+	}
+	fillEstimate(reply, e, h.svc.Now())
+	reply.SubmittedSeq = 0
+	reply.DroppedOldest = false
+	return nil
+}
+
+// Stats implements Handler.
+func (h *ServiceHandler) Stats(link string) ([]LinkStats, error) {
+	all := h.svc.Links() // sorted by id
+	out := make([]LinkStats, 0, len(all))
+	for _, st := range all {
+		if link != "" && st.ID != link {
+			continue
+		}
+		out = append(out, LinkStats{
+			ID: st.ID, Served: st.Served, Dropped: st.Dropped, Pending: st.Pending,
+			LastAge: st.LastAge, MeanAge: st.MeanAge, MaxAge: st.MaxAge, OpenedAt: st.OpenedAt,
+		})
+	}
+	if link != "" && len(out) == 0 {
+		return nil, Errf(StatusNoEstimate, "link %q not open", link)
+	}
+	return out, nil
+}
+
+// Metrics implements Handler.
+func (h *ServiceHandler) Metrics() (MetricsReply, error) {
+	m := h.svc.Metrics()
+	return MetricsReply{
+		FramesSubmitted: m.FramesSubmitted,
+		FramesDropped:   m.FramesDropped,
+		FramesInferred:  m.FramesInferred,
+		Batches:         m.Batches,
+		LastSeq:         m.LastSeq,
+		EstimatesServed: m.EstimatesServed,
+		MeanBatch:       m.MeanBatch,
+		InferMean:       m.InferMean,
+		InferMeanFrame:  m.InferMeanFrame,
+		InferMax:        m.InferMax,
+		AgeP50:          m.AgeP50,
+		AgeP99:          m.AgeP99,
+		QueueLen:        m.QueueLen,
+		QueueCap:        m.QueueCap,
+		ActiveLinks:     m.ActiveLinks,
+		InferMode:       m.InferMode,
+		Err:             m.Err,
+	}, nil
+}
+
+// Ping implements Handler. Inflight is filled by the wire server.
+func (h *ServiceHandler) Ping() (PongReply, error) {
+	m := h.svc.Metrics()
+	if m.Err != "" {
+		return PongReply{}, Errf(StatusUnavailable, "estimator failed: %s", m.Err)
+	}
+	return PongReply{
+		QueueLen:        m.QueueLen,
+		ActiveLinks:     m.ActiveLinks,
+		EstimatesServed: m.EstimatesServed,
+	}, nil
+}
