@@ -23,6 +23,7 @@ import (
 	"vvd/internal/dataset"
 	"vvd/internal/experiments"
 	"vvd/internal/scenario"
+	"vvd/internal/store"
 )
 
 func main() {
@@ -202,7 +203,7 @@ func runSweep(p experiments.Params, names, outPath string) error {
 	fmt.Println(table)
 	fmt.Printf("(cross-scenario sweep completed in %.1fs)\n", time.Since(start).Seconds())
 	if outPath != "" {
-		if err := os.WriteFile(outPath, []byte(table+"\n"), 0o644); err != nil {
+		if err := store.WriteFileAtomic(outPath, []byte(table+"\n")); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", outPath)
@@ -240,7 +241,7 @@ func runGridSweep(p experiments.Params, occList, snrList, outPath string) error 
 	fmt.Println(table)
 	fmt.Printf("(grid sweep of %d cells completed in %.1fs)\n", len(g.Rows)*len(g.Cols), time.Since(start).Seconds())
 	if outPath != "" {
-		if err := os.WriteFile(outPath, []byte(table+"\n"), 0o644); err != nil {
+		if err := store.WriteFileAtomic(outPath, []byte(table+"\n")); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", outPath)

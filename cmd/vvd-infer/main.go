@@ -5,6 +5,7 @@
 // Usage:
 //
 //	vvd-infer -model vvd.model -campaign campaign.bin -set 3
+//	vvd-infer -registry ./models -model vvd-current@latest -campaign campaign.bin
 package main
 
 import (
@@ -17,24 +18,21 @@ import (
 	"vvd/internal/dataset"
 	"vvd/internal/estimate"
 	"vvd/internal/metrics"
+	"vvd/internal/store/registry"
 )
 
 func main() {
 	var (
-		modelPath    = flag.String("model", "vvd.model", "model file from vvd-train")
+		modelPath    = flag.String("model", "vvd.model", "model file from vvd-train, or a registry ref (name@latest, name@hash, @hashprefix) with -registry")
 		campaignPath = flag.String("campaign", "campaign.bin", "campaign file from vvd-dataset")
 		setID        = flag.Int("set", 1, "measurement set to run inference on")
 		decode       = flag.Bool("decode", true, "also decode every packet with the estimate")
 		quant        = flag.Bool("quant", false, "int8 quantized inference (calibrates on the set's first frames)")
+		regDir       = flag.String("registry", "", "content-addressed model registry directory (makes -model accept name@version refs)")
 	)
 	flag.Parse()
 
-	mf, err := os.Open(*modelPath)
-	if err != nil {
-		fatal(err)
-	}
-	model, err := core.LoadModel(mf)
-	mf.Close()
+	model, err := loadModel(*regDir, *modelPath)
 	if err != nil {
 		fatal(err)
 	}
@@ -114,6 +112,48 @@ func main() {
 	if *decode {
 		fmt.Printf("blind decode: PER %.3f, CER %.4f\n", counter.PER(), counter.CER())
 	}
+}
+
+// loadModel loads from a registry ref (verified against its content
+// hash, provenance printed) when -registry is set or the ref contains
+// '@', and from a loose file path otherwise.
+func loadModel(regDir, ref string) (*core.VVD, error) {
+	if regDir == "" && !registry.IsRef(ref) {
+		mf, err := os.Open(ref)
+		if err != nil {
+			return nil, err
+		}
+		model, err := core.LoadModel(mf)
+		mf.Close()
+		return model, err
+	}
+	if regDir == "" {
+		return nil, fmt.Errorf("-model %s is a registry ref: pass -registry <dir>", ref)
+	}
+	reg, err := registry.OpenDir(regDir)
+	if err != nil {
+		return nil, err
+	}
+	model, m, err := reg.Load(ref)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("loaded %s@%s", m.Name, shortHash(m.Hash))
+	if m.Scenario != "" {
+		fmt.Printf("  scenario=%s", m.Scenario)
+	}
+	if m.CampaignHash != "" {
+		fmt.Printf("  campaign=%s", shortHash(m.CampaignHash))
+	}
+	fmt.Println()
+	return model, nil
+}
+
+func shortHash(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	return h
 }
 
 func fatal(err error) {

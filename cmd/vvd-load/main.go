@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vvd/internal/store"
 	"vvd/internal/wire"
 )
 
@@ -338,20 +339,14 @@ func (r *report) print(w io.Writer) {
 	fmt.Fprintf(w, "age        p50 %.2fms  p99 %.2fms  max %.2fms\n", r.AgeP50MS, r.AgeP99MS, r.AgeMaxMS)
 }
 
-// writeFile writes the JSON report; the Close error is the write's.
-func (r *report) writeFile(path string) (err error) {
-	f, cerr := os.Create(path)
-	if cerr != nil {
-		return cerr
-	}
-	defer func() {
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-	}()
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	return enc.Encode(r)
+// writeFile writes the JSON report atomically: the file appears at
+// path complete or not at all.
+func (r *report) writeFile(path string) error {
+	return store.WriteAtomic(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(r)
+	})
 }
 
 // ---- wire transport ----

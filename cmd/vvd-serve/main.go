@@ -51,12 +51,14 @@ import (
 	"vvd/internal/dataset"
 	"vvd/internal/nn"
 	"vvd/internal/serve"
+	"vvd/internal/store/registry"
 	"vvd/internal/wire"
 )
 
 func main() {
 	var (
-		modelPath  = flag.String("model", "vvd.model", "model file from vvd-train")
+		modelPath  = flag.String("model", "vvd.model", "model file from vvd-train, or a registry ref (name@latest, name@hash) with -registry")
+		regDir     = flag.String("registry", "", "content-addressed model registry directory (makes -model accept name@version refs)")
 		addr       = flag.String("addr", ":8990", "HTTP listen address")
 		wireAddr   = flag.String("wire", "", "also listen for the binary wire protocol on this address (empty = HTTP only)")
 		queue      = flag.Int("queue", 8, "frame queue depth (drop-oldest beyond)")
@@ -82,6 +84,20 @@ func main() {
 		if model, feed, err = demoModel(); err != nil {
 			fatal(err)
 		}
+	case *regDir != "" || registry.IsRef(*modelPath):
+		if *regDir == "" {
+			fatal(fmt.Errorf("-model %s is a registry ref: pass -registry <dir>", *modelPath))
+		}
+		reg, err := registry.OpenDir(*regDir)
+		if err != nil {
+			fatal(err)
+		}
+		var m registry.Manifest
+		if model, m, err = reg.Load(*modelPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded %s@%.12s: VVD lag %d, %d parameters (scenario %q, campaign %.12s)\n",
+			m.Name, m.Hash, model.Lag, model.Net.NumParams(), m.Scenario, m.CampaignHash)
 	default:
 		f, err := os.Open(*modelPath)
 		if err != nil {

@@ -1,9 +1,11 @@
 // Command vvd-train trains a VVD CNN variant on a generated campaign and
-// saves the model.
+// saves the model — to a file (written atomically) and, with -registry,
+// as a content-addressed versioned artifact with provenance.
 //
 // Usage:
 //
 //	vvd-train -campaign campaign.bin -variant current -combo 1 -out vvd.model
+//	vvd-train -campaign campaign.bin -registry ./models -name vvd-current
 package main
 
 import (
@@ -13,6 +15,8 @@ import (
 
 	"vvd/internal/core"
 	"vvd/internal/dataset"
+	"vvd/internal/store"
+	"vvd/internal/store/registry"
 )
 
 func main() {
@@ -27,6 +31,9 @@ func main() {
 		lr           = flag.Float64("lr", 1.2e-3, "initial Nadam learning rate (paper: 1e-4)")
 		paperArch    = flag.Bool("paper-arch", false, "use the full Fig. 8 architecture (slow on CPU)")
 		seed         = flag.Uint64("seed", 7, "training seed")
+		regDir       = flag.String("registry", "", "also register the model in this content-addressed registry (versioned artifact + provenance manifest)")
+		name         = flag.String("name", "", "artifact name in the registry (default vvd-<variant>)")
+		parent       = flag.String("parent", "", "hash of the model this run fine-tunes (provenance only)")
 	)
 	flag.Parse()
 
@@ -51,6 +58,7 @@ func main() {
 		f.Close()
 		fatal(err)
 	}
+	cfgStored := r.Config()
 
 	// Resolve the combination from the header alone, then stream in only
 	// its training and validation sets — the test set (and any other) is
@@ -100,21 +108,43 @@ func main() {
 	}
 	fmt.Printf("best validation MSE %.5e at epoch %d\n", hist.BestVal, hist.BestEpoch)
 
-	of, err := os.Create(*out)
-	if err != nil {
-		fatal(err)
-	}
-	if err := v.Save(of); err != nil {
-		of.Close()
-		fatal(err)
-	}
-	// Close explicitly and check the error: a deferred close is skipped by
-	// fatal's os.Exit, and an unchecked one turns a full disk into a
-	// silently truncated model.
-	if err := of.Close(); err != nil {
+	// Atomic write: the model lands at -out complete or not at all — a
+	// crash or full disk mid-save cannot leave a truncated artifact.
+	if err := store.WriteAtomic(*out, v.Save); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s (%d parameters, norm %.3e)\n", *out, v.Net.NumParams(), v.Norm)
+
+	if *regDir != "" {
+		reg, err := registry.OpenDir(*regDir)
+		if err != nil {
+			fatal(err)
+		}
+		campaignHash, err := registry.CampaignConfigHash(cfgStored)
+		if err != nil {
+			fatal(err)
+		}
+		artifact := *name
+		if artifact == "" {
+			artifact = "vvd-" + *variant
+		}
+		m, err := reg.Put(v, registry.Manifest{
+			Name:         artifact,
+			CampaignHash: campaignHash,
+			Scenario:     cfgStored.Scenario,
+			Combo:        cb.Number,
+			Variant:      *variant,
+			Epochs:       *epochs,
+			Batch:        *batch,
+			LR:           *lr,
+			Seed:         *seed,
+			Parent:       *parent,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("registered %s@%s (campaign %s)\n", m.Name, m.Hash[:12], campaignHash[:12])
+	}
 }
 
 func fatal(err error) {

@@ -28,29 +28,31 @@ const modulePrefix = "vvd/"
 // internal/serve sits above core and is never imported by the
 // generation stack; internal/lint is a self-contained toolchain leaf.
 var depfenceTable = map[string][]string{
-	"vvd":                        {},
-	"vvd/internal/mathx":         {},
-	"vvd/internal/mathx/gemm":    {},
-	"vvd/internal/metrics":       {},
-	"vvd/internal/room":          {},
-	"vvd/internal/dsp/fft":       {},
-	"vvd/internal/dsp":           {"vvd/internal/dsp/fft"},
-	"vvd/internal/phy":           {"vvd/internal/dsp"},
-	"vvd/internal/camera":        {"vvd/internal/room"},
-	"vvd/internal/report":        {"vvd/internal/metrics"},
-	"vvd/internal/nn":            {"vvd/internal/mathx", "vvd/internal/mathx/gemm"},
-	"vvd/internal/channel":       {"vvd/internal/dsp", "vvd/internal/phy", "vvd/internal/room"},
-	"vvd/internal/estimate":      {"vvd/internal/channel", "vvd/internal/dsp", "vvd/internal/mathx", "vvd/internal/phy", "vvd/internal/room"},
-	"vvd/internal/kalman":        {"vvd/internal/channel", "vvd/internal/mathx", "vvd/internal/phy", "vvd/internal/room"},
-	"vvd/internal/dataset":       {"vvd/internal/camera", "vvd/internal/channel", "vvd/internal/dsp", "vvd/internal/estimate", "vvd/internal/phy", "vvd/internal/room"},
-	"vvd/internal/core":          {"vvd/internal/camera", "vvd/internal/dataset", "vvd/internal/metrics", "vvd/internal/nn"},
-	"vvd/internal/serve":         {"vvd/internal/core", "vvd/internal/dataset", "vvd/internal/nn"},
-	"vvd/internal/wire":          {"vvd/internal/serve"},
-	"vvd/internal/shard":         {"vvd/internal/wire"},
-	"vvd/internal/scenario":      {"vvd/internal/channel", "vvd/internal/core", "vvd/internal/dataset", "vvd/internal/estimate", "vvd/internal/kalman", "vvd/internal/metrics", "vvd/internal/phy", "vvd/internal/room"},
-	"vvd/internal/experiments":   {"vvd/internal/camera", "vvd/internal/channel", "vvd/internal/core", "vvd/internal/dataset", "vvd/internal/estimate", "vvd/internal/kalman", "vvd/internal/metrics", "vvd/internal/nn", "vvd/internal/phy", "vvd/internal/report", "vvd/internal/room", "vvd/internal/scenario"},
-	"vvd/internal/lint":          {},
-	"vvd/internal/lint/linttest": {"vvd/internal/lint"},
+	"vvd":                         {},
+	"vvd/internal/mathx":          {},
+	"vvd/internal/mathx/gemm":     {},
+	"vvd/internal/metrics":        {},
+	"vvd/internal/room":           {},
+	"vvd/internal/dsp/fft":        {},
+	"vvd/internal/dsp":            {"vvd/internal/dsp/fft"},
+	"vvd/internal/phy":            {"vvd/internal/dsp"},
+	"vvd/internal/camera":         {"vvd/internal/room"},
+	"vvd/internal/report":         {"vvd/internal/metrics"},
+	"vvd/internal/nn":             {"vvd/internal/mathx", "vvd/internal/mathx/gemm"},
+	"vvd/internal/channel":        {"vvd/internal/dsp", "vvd/internal/phy", "vvd/internal/room"},
+	"vvd/internal/estimate":       {"vvd/internal/channel", "vvd/internal/dsp", "vvd/internal/mathx", "vvd/internal/phy", "vvd/internal/room"},
+	"vvd/internal/kalman":         {"vvd/internal/channel", "vvd/internal/mathx", "vvd/internal/phy", "vvd/internal/room"},
+	"vvd/internal/dataset":        {"vvd/internal/camera", "vvd/internal/channel", "vvd/internal/dsp", "vvd/internal/estimate", "vvd/internal/phy", "vvd/internal/room"},
+	"vvd/internal/core":           {"vvd/internal/camera", "vvd/internal/dataset", "vvd/internal/metrics", "vvd/internal/nn"},
+	"vvd/internal/serve":          {"vvd/internal/core", "vvd/internal/dataset", "vvd/internal/nn"},
+	"vvd/internal/wire":           {"vvd/internal/serve"},
+	"vvd/internal/shard":          {"vvd/internal/wire"},
+	"vvd/internal/scenario":       {"vvd/internal/channel", "vvd/internal/core", "vvd/internal/dataset", "vvd/internal/estimate", "vvd/internal/kalman", "vvd/internal/metrics", "vvd/internal/phy", "vvd/internal/room"},
+	"vvd/internal/experiments":    {"vvd/internal/camera", "vvd/internal/channel", "vvd/internal/core", "vvd/internal/dataset", "vvd/internal/estimate", "vvd/internal/kalman", "vvd/internal/metrics", "vvd/internal/nn", "vvd/internal/phy", "vvd/internal/report", "vvd/internal/room", "vvd/internal/scenario"},
+	"vvd/internal/store":          {"vvd/internal/dataset"},
+	"vvd/internal/store/registry": {"vvd/internal/core", "vvd/internal/dataset", "vvd/internal/store"},
+	"vvd/internal/lint":           {},
+	"vvd/internal/lint/linttest":  {"vvd/internal/lint"},
 }
 
 func runDepFence(pass *Pass) error {

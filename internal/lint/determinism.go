@@ -24,23 +24,25 @@ var Determinism = &Analyzer{
 // absent: it is wall-clock-facing by design and injects time through its
 // Clock field. cmd/* and examples/* mains are also outside the set.
 var deterministicPkgs = map[string]bool{
-	"vvd/internal/camera":      true,
-	"vvd/internal/channel":     true,
-	"vvd/internal/core":        true,
-	"vvd/internal/dataset":     true,
-	"vvd/internal/dsp":         true,
-	"vvd/internal/dsp/fft":     true,
-	"vvd/internal/estimate":    true,
-	"vvd/internal/experiments": true,
-	"vvd/internal/kalman":      true,
-	"vvd/internal/mathx":       true,
-	"vvd/internal/mathx/gemm":  true,
-	"vvd/internal/metrics":     true,
-	"vvd/internal/nn":          true,
-	"vvd/internal/phy":         true,
-	"vvd/internal/report":      true,
-	"vvd/internal/room":        true,
-	"vvd/internal/scenario":    true,
+	"vvd/internal/camera":         true,
+	"vvd/internal/channel":        true,
+	"vvd/internal/core":           true,
+	"vvd/internal/dataset":        true,
+	"vvd/internal/dsp":            true,
+	"vvd/internal/dsp/fft":        true,
+	"vvd/internal/estimate":       true,
+	"vvd/internal/experiments":    true,
+	"vvd/internal/kalman":         true,
+	"vvd/internal/mathx":          true,
+	"vvd/internal/mathx/gemm":     true,
+	"vvd/internal/metrics":        true,
+	"vvd/internal/nn":             true,
+	"vvd/internal/phy":            true,
+	"vvd/internal/report":         true,
+	"vvd/internal/room":           true,
+	"vvd/internal/scenario":       true,
+	"vvd/internal/store":          true,
+	"vvd/internal/store/registry": true,
 }
 
 func runDeterminism(pass *Pass) error {

@@ -185,12 +185,80 @@ func (n *Network) Save(w io.Writer) error {
 	return nil
 }
 
+// Limits enforced by Load. Generous multiples of the paper architecture
+// (input 50×90×1, ~400k parameters), tight enough that a forged header
+// cannot demand absurd allocations before the input runs out.
+const (
+	maxLoadLayers = 1024
+	maxLoadDim    = 1 << 16       // any single H/W/C dimension or layer meta value
+	maxLoadTensor = 1 << 26       // elements in any activation tensor
+	maxLoadParam  = 100_000_000   // elements in one parameter tensor
+	loadChunk     = 8 * (1 << 13) // bytes of weight data decoded per read
+)
+
+// loadLayerSpec mirrors each layer's OutShape rule without constructing
+// the layer: it validates the serialized metadata against the incoming
+// shape and reports the output shape plus the exact parameter sizes the
+// layer will own. Everything is checked here, before any weight-sized
+// allocation — a crafted header fails cleanly instead of panicking in a
+// constructor or reserving gigabytes.
+func loadLayerSpec(name string, meta [3]uint32, in Shape) (out Shape, paramElems []int, err error) {
+	metaOK := func(v uint32) bool { return v >= 1 && v <= maxLoadDim }
+	switch name {
+	case "conv2d":
+		kh, kw, filters := meta[0], meta[1], meta[2]
+		if !metaOK(kh) || !metaOK(kw) || !metaOK(filters) {
+			return Shape{}, nil, fmt.Errorf("nn: implausible conv meta %dx%dx%d", kh, kw, filters)
+		}
+		if in.H < int(kh) || in.W < int(kw) {
+			return Shape{}, nil, fmt.Errorf("nn: conv kernel %dx%d larger than input %s", kh, kw, in)
+		}
+		w := int64(kh) * int64(kw) * int64(in.C)
+		if w > maxLoadParam || w*int64(filters) > maxLoadParam {
+			return Shape{}, nil, errors.New("nn: implausible conv parameter size")
+		}
+		out = Shape{H: in.H - int(kh) + 1, W: in.W - int(kw) + 1, C: int(filters)}
+		return out, []int{int(w) * int(filters), int(filters)}, nil
+	case "dense":
+		units := meta[0]
+		if !metaOK(units) {
+			return Shape{}, nil, fmt.Errorf("nn: implausible dense units %d", units)
+		}
+		if in.H != 1 || in.W != 1 {
+			return Shape{}, nil, errors.New("nn: Dense requires flattened input (use Flatten)")
+		}
+		if int64(in.C)*int64(units) > maxLoadParam {
+			return Shape{}, nil, errors.New("nn: implausible dense parameter size")
+		}
+		return Shape{H: 1, W: 1, C: int(units)}, []int{in.C * int(units), int(units)}, nil
+	case "relu":
+		return in, nil, nil
+	case "avgpool", "maxpool":
+		if in.H < 2 || in.W < 2 {
+			return Shape{}, nil, fmt.Errorf("nn: pool input %s too small", in)
+		}
+		return Shape{H: in.H / 2, W: in.W / 2, C: in.C}, nil, nil
+	case "flatten":
+		return Shape{H: 1, W: 1, C: in.Size()}, nil, nil
+	default:
+		return Shape{}, nil, fmt.Errorf("nn: unknown layer %q", name)
+	}
+}
+
 // Load reconstructs a network saved with Save.
+//
+// The input is untrusted: every count is validated against the shape walk
+// before it drives an allocation, and weight data is read in bounded
+// chunks so memory use stays proportional to the bytes actually present —
+// a tiny file claiming a huge parameter tensor fails after one chunk, it
+// does not reserve the claimed size up front.
 func Load(r io.Reader) (*Network, error) {
 	readU32 := func() (uint32, error) {
-		var v uint32
-		err := binary.Read(r, binary.LittleEndian, &v)
-		return v, err
+		var b [4]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(b[:]), nil
 	}
 	magic, err := readU32()
 	if err != nil {
@@ -205,17 +273,52 @@ func Load(r io.Reader) (*Network, error) {
 			return nil, err
 		}
 	}
+	for _, d := range dims[:3] {
+		if d < 1 || d > maxLoadDim {
+			return nil, fmt.Errorf("nn: implausible input dimension %d", d)
+		}
+	}
 	in := Shape{H: int(dims[0]), W: int(dims[1]), C: int(dims[2])}
+	if int64(in.H)*int64(in.W)*int64(in.C) > maxLoadTensor {
+		return nil, fmt.Errorf("nn: implausible input shape %s", in)
+	}
 	nLayers := int(dims[3])
-	if nLayers <= 0 || nLayers > 1024 {
+	if nLayers <= 0 || nLayers > maxLoadLayers {
 		return nil, fmt.Errorf("nn: implausible layer count %d", nLayers)
 	}
-	layers := make([]Layer, 0, nLayers)
-	type pending struct {
-		layer  Layer
+
+	type spec struct {
+		name   string
+		meta   [3]uint32
 		wDatas [][]float64
 	}
-	var pendings []pending
+	specs := make([]spec, 0, nLayers)
+	chunk := make([]byte, loadChunk)
+	readParam := func(want int) ([]float64, error) {
+		sz, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		if int64(sz) != int64(want) {
+			return nil, fmt.Errorf("nn: parameter size %d, want %d", sz, want)
+		}
+		// Chunked read: the slice grows only as far as the input actually
+		// delivers, so allocation is bounded by the bytes present.
+		data := make([]float64, 0, min(want, loadChunk/8))
+		for len(data) < want {
+			n := min(want-len(data), loadChunk/8)
+			b := chunk[:8*n]
+			if _, err := io.ReadFull(r, b); err != nil {
+				return nil, err
+			}
+			for i := 0; i < n; i++ {
+				data = append(data, math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:])))
+			}
+		}
+		return data, nil
+	}
+
+	shape := in
 	for i := 0; i < nLayers; i++ {
 		nameLen, err := readU32()
 		if err != nil {
@@ -234,58 +337,59 @@ func Load(r io.Reader) (*Network, error) {
 				return nil, err
 			}
 		}
-		var l Layer
-		nParams := 0
-		switch string(nameBuf) {
-		case "conv2d":
-			l = NewConv2D(int(meta[0]), int(meta[1]), int(meta[2]))
-			nParams = 2
-		case "dense":
-			l = NewDense(int(meta[0]))
-			nParams = 2
-		case "relu":
-			l = NewReLU()
-		case "avgpool":
-			l = NewPool2D(AvgPool)
-		case "maxpool":
-			l = NewPool2D(MaxPool)
-		case "flatten":
-			l = NewFlatten()
-		default:
-			return nil, fmt.Errorf("nn: unknown layer %q", nameBuf)
+		out, paramElems, err := loadLayerSpec(string(nameBuf), meta, shape)
+		if err != nil {
+			return nil, err
 		}
-		var wDatas [][]float64
-		for p := 0; p < nParams; p++ {
-			sz, err := readU32()
+		if int64(out.H)*int64(out.W)*int64(out.C) > maxLoadTensor {
+			return nil, fmt.Errorf("nn: implausible layer %d output shape %s", i, out)
+		}
+		s := spec{name: string(nameBuf), meta: meta}
+		for _, want := range paramElems {
+			data, err := readParam(want)
 			if err != nil {
 				return nil, err
 			}
-			if sz > 100_000_000 {
-				return nil, errors.New("nn: implausible parameter size")
-			}
-			data := make([]float64, sz)
-			if err := binary.Read(r, binary.LittleEndian, data); err != nil {
-				return nil, err
-			}
-			wDatas = append(wDatas, data)
+			s.wDatas = append(s.wDatas, data)
 		}
-		layers = append(layers, l)
-		pendings = append(pendings, pending{layer: l, wDatas: wDatas})
+		specs = append(specs, s)
+		shape = out
+	}
+
+	// All counts validated and all weight data present: now construct the
+	// layers (metadata is known-positive, so the constructors cannot panic)
+	// and let NewNetwork re-walk the shapes as the final consistency check.
+	layers := make([]Layer, len(specs))
+	for i, s := range specs {
+		switch s.name {
+		case "conv2d":
+			layers[i] = NewConv2D(int(s.meta[0]), int(s.meta[1]), int(s.meta[2]))
+		case "dense":
+			layers[i] = NewDense(int(s.meta[0]))
+		case "relu":
+			layers[i] = NewReLU()
+		case "avgpool":
+			layers[i] = NewPool2D(AvgPool)
+		case "maxpool":
+			layers[i] = NewPool2D(MaxPool)
+		case "flatten":
+			layers[i] = NewFlatten()
+		}
 	}
 	net, err := NewNetwork(in, nil, layers...)
 	if err != nil {
 		return nil, err
 	}
-	for _, p := range pendings {
-		params := p.layer.Params()
-		if len(params) != len(p.wDatas) {
+	for i, s := range specs {
+		params := layers[i].Params()
+		if len(params) != len(s.wDatas) {
 			return nil, errors.New("nn: parameter count mismatch on load")
 		}
-		for i, data := range p.wDatas {
-			if len(params[i].W) != len(data) {
+		for j, data := range s.wDatas {
+			if len(params[j].W) != len(data) {
 				return nil, errors.New("nn: parameter size mismatch on load")
 			}
-			copy(params[i].W, data)
+			copy(params[j].W, data)
 		}
 	}
 	return net, nil

@@ -1,0 +1,79 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteAtomic writes a file so the destination is never torn: the bytes
+// go to a temporary file in the same directory, are flushed and fsynced,
+// and only then renamed over path. A crash, full disk or write error at
+// any point leaves the previous contents of path untouched — the failure
+// mode of a bare os.Create (truncate first, then hope every write lands)
+// is structurally impossible.
+//
+// The rename is atomic on POSIX filesystems; the directory is fsynced
+// afterwards so the rename itself survives a crash.
+func WriteAtomic(path string, write func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: creating temp file for %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	committed := false
+	defer func() {
+		if !committed {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	bw := bufio.NewWriterSize(tmp, 1<<16)
+	if err := write(bw); err != nil {
+		return fmt.Errorf("store: writing %s: %w", path, err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("store: writing %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("store: syncing %s: %w", path, err)
+	}
+	// CreateTemp opens 0600; published artifacts get the usual file mode.
+	if err := tmp.Chmod(0o644); err != nil {
+		return fmt.Errorf("store: chmod %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: closing %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("store: committing %s: %w", path, err)
+	}
+	committed = true
+	syncDir(dir)
+	return nil
+}
+
+// WriteFileAtomic is WriteAtomic over a fixed byte slice — the drop-in
+// replacement for os.WriteFile on artifact paths.
+func WriteFileAtomic(path string, data []byte) error {
+	return WriteAtomic(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// syncDir fsyncs a directory so a just-committed rename (or segment
+// creation) survives a crash. Best effort: some filesystems and platforms
+// reject fsync on directories, and by this point the data itself is
+// already durable in the file.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}

@@ -1,0 +1,101 @@
+package store
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "out.bin")
+	if err := WriteFileAtomic(p, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(p)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	info, err := os.Stat(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := info.Mode().Perm(); perm != 0o644 {
+		t.Fatalf("committed file has mode %o, want 644", perm)
+	}
+	// Overwrite.
+	if err := WriteFileAtomic(p, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ = os.ReadFile(p); string(got) != "second" {
+		t.Fatalf("after overwrite: %q", got)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+// TestWriteAtomicFailureLeavesDestination is the satellite's core
+// assertion: a write that fails partway — after emitting bytes — leaves
+// the previous destination contents byte-identical and no debris behind.
+// This is exactly the case where the old bare os.Create flow (truncate,
+// then write) would have destroyed the artifact.
+func TestWriteAtomicFailureLeavesDestination(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "model.bin")
+	if err := WriteFileAtomic(p, []byte("the previous artifact")); err != nil {
+		t.Fatal(err)
+	}
+
+	injected := errors.New("disk full (injected)")
+	err := WriteAtomic(p, func(w io.Writer) error {
+		if _, werr := w.Write([]byte("half a new artifa")); werr != nil {
+			return werr
+		}
+		return injected
+	})
+	if !errors.Is(err, injected) {
+		t.Fatalf("WriteAtomic = %v, want the injected failure", err)
+	}
+	got, err := os.ReadFile(p)
+	if err != nil || string(got) != "the previous artifact" {
+		t.Fatalf("destination after failed write = %q, %v", got, err)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+// TestWriteAtomicFreshPathFailure pins the no-preexisting-file case: a
+// failed write to a new path leaves nothing at all.
+func TestWriteAtomicFreshPathFailure(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "new.bin")
+	err := WriteAtomic(p, func(w io.Writer) error { return errors.New("nope") })
+	if err == nil {
+		t.Fatal("WriteAtomic succeeded through a failing callback")
+	}
+	if _, serr := os.Stat(p); !os.IsNotExist(serr) {
+		t.Fatalf("failed write created %s (stat: %v)", p, serr)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestWriteAtomicMissingDir(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "no", "such", "dir", "x")
+	if err := WriteFileAtomic(p, []byte("x")); err == nil {
+		t.Fatal("WriteFileAtomic into a missing directory succeeded")
+	}
+}
+
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrClosed is returned by operations on a closed backend.
+var ErrClosed = errors.New("store: backend is closed")
+
+// MemStore is the in-memory backend: a mutex-guarded map. It gives tests
+// and ephemeral pipelines the Store semantics (atomic Put — the callback
+// writes to a buffer, the map sees complete values only) with zero I/O,
+// and is the baseline the EXPERIMENTS.md durability-overhead table
+// measures the persistent backends against.
+type MemStore struct {
+	mu     sync.RWMutex
+	blobs  map[string][]byte
+	closed bool
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{blobs: make(map[string][]byte)}
+}
+
+// Put implements Store.
+func (s *MemStore) Put(key string, write func(w io.Writer) error) error {
+	if err := ValidateKey(key); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := write(&buf); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.blobs[key] = buf.Bytes()
+	return nil
+}
+
+// Open implements Store. The reader sees the value as of the call; later
+// Puts to the same key do not affect it.
+func (s *MemStore) Open(key string) (io.ReadCloser, error) {
+	if err := ValidateKey(key); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	b, ok := s.blobs[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return io.NopCloser(bytes.NewReader(b)), nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(key string) error {
+	if err := ValidateKey(key); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.blobs[key]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	delete(s.blobs, key)
+	return nil
+}
+
+// List implements Store.
+func (s *MemStore) List(prefix string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	var keys []string
+	for k := range s.blobs {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.blobs = nil
+	return nil
+}

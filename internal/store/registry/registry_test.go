@@ -1,0 +1,248 @@
+package registry_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vvd/internal/core"
+	"vvd/internal/dataset"
+	"vvd/internal/nn"
+	"vvd/internal/store"
+	"vvd/internal/store/registry"
+)
+
+// tinyModel builds a deterministic small VVD; different seeds give
+// different weights and therefore different content hashes.
+func tinyModel(t *testing.T, seed uint64) *core.VVD {
+	t.Helper()
+	arch := core.Arch{Conv1: 2, Conv2: 2, Conv3: 4, Conv4: 4, Dense: 16, Pool: nn.AvgPool}
+	net, err := core.BuildNetwork(arch, rand.New(rand.NewPCG(seed, seed^0xbeef)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := make([]complex128, core.OutputTaps)
+	for i := range mean {
+		mean[i] = complex(float64(i)*0.25, -0.5)
+	}
+	return &core.VVD{Net: net, Norm: 1.5, Mean: mean, Lag: dataset.LagCurrent}
+}
+
+func TestPutLoadRoundTripBitIdentical(t *testing.T) {
+	reg := registry.New(store.NewMemStore())
+	v := tinyModel(t, 1)
+	want, wantHash, err := registry.Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := reg.Put(v, registry.Manifest{
+		Name: "vvd-current", Scenario: "crowded-room-4", Combo: 3,
+		Variant: "current", Epochs: 24, Batch: 16, LR: 1.2e-3, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Hash != wantHash {
+		t.Fatalf("Put assigned hash %s, want the canonical encoding's %s", m.Hash, wantHash)
+	}
+	sum := sha256.Sum256(want)
+	if m.Hash != hex.EncodeToString(sum[:]) {
+		t.Fatal("hash is not the SHA-256 of the canonical encoding")
+	}
+
+	for _, ref := range []string{
+		"vvd-current",
+		"vvd-current@latest",
+		"vvd-current@" + m.Hash,
+		"vvd-current@" + m.Hash[:12],
+		"@" + m.Hash[:12],
+	} {
+		loaded, lm, err := reg.Load(ref)
+		if err != nil {
+			t.Fatalf("Load(%s): %v", ref, err)
+		}
+		got, gotHash, err := registry.Encode(loaded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotHash != wantHash || !bytes.Equal(got, want) {
+			t.Fatalf("Load(%s) is not bit-identical to the registered artifact", ref)
+		}
+		if lm.Scenario != "crowded-room-4" || lm.Combo != 3 || lm.Seed != 7 {
+			t.Fatalf("Load(%s) manifest lost provenance: %+v", ref, lm)
+		}
+	}
+}
+
+func TestVersionsAndLatest(t *testing.T) {
+	reg := registry.New(store.NewMemStore())
+	v1, v2 := tinyModel(t, 1), tinyModel(t, 2)
+	m1, err := reg.Put(v1, registry.Manifest{Name: "vvd-current"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := reg.Put(v2, registry.Manifest{Name: "vvd-current", Parent: m1.Hash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Hash == m2.Hash {
+		t.Fatal("different weights produced the same content hash")
+	}
+
+	hist, err := reg.Versions("vvd-current")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 2 || hist[0] != m1.Hash || hist[1] != m2.Hash {
+		t.Fatalf("Versions = %v, want [%s %s]", hist, m1.Hash, m2.Hash)
+	}
+
+	// @latest is the second version; the first stays addressable by hash.
+	_, lm, err := reg.Load("vvd-current@latest")
+	if err != nil || lm.Hash != m2.Hash {
+		t.Fatalf("latest resolved to %s (%v), want %s", lm.Hash, err, m2.Hash)
+	}
+	if lm.Parent != m1.Hash {
+		t.Fatalf("latest manifest parent = %s, want %s", lm.Parent, m1.Hash)
+	}
+	_, old, err := reg.Load("vvd-current@" + m1.Hash[:16])
+	if err != nil || old.Hash != m1.Hash {
+		t.Fatalf("old version by prefix: %s, %v", old.Hash, err)
+	}
+
+	all, err := reg.List()
+	if err != nil || len(all) != 2 {
+		t.Fatalf("List = %d manifests, %v", len(all), err)
+	}
+}
+
+func TestContentAddressingDedupes(t *testing.T) {
+	ms := store.NewMemStore()
+	reg := registry.New(ms)
+	v := tinyModel(t, 3)
+	m1, err := reg.Put(v, registry.Manifest{Name: "name-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := reg.Put(v, registry.Manifest{Name: "name-b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Hash != m2.Hash {
+		t.Fatal("identical weights under two names hashed differently")
+	}
+	blobs, err := ms.List("models/")
+	if err != nil || len(blobs) != 1 {
+		t.Fatalf("stored %d blobs for identical weights, want 1 (%v)", len(blobs), err)
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	reg := registry.New(store.NewMemStore())
+	m, err := reg.Put(tinyModel(t, 4), registry.Manifest{Name: "real"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ ref, want string }{
+		{"ghost", "no model named"},
+		{"ghost@latest", "no model named"},
+		{"@" + m.Hash[:4], "too short"},
+		{"@abcd1234", "no model with hash prefix"},
+		{"@" + strings.ToUpper(m.Hash[:12]), "not lowercase hex"},
+		{"@" + m.Hash + "00", "longer than a SHA-256"},
+		{"wrong-name@" + m.Hash[:12], `is named "real"`},
+		{"bad/name@latest", "must not contain"},
+	}
+	for _, c := range cases {
+		if _, err := reg.Resolve(c.ref); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Resolve(%q) = %v, want %q", c.ref, err, c.want)
+		}
+	}
+
+	// Odd-length prefixes are legitimate.
+	if _, err := reg.Resolve("@" + m.Hash[:9]); err != nil {
+		t.Errorf("Resolve with 9-char prefix: %v", err)
+	}
+}
+
+// TestLoadDetectsCorruption pins the content-verification guarantee: a
+// flipped bit anywhere in the stored artifact fails the load instead of
+// serving a model that silently differs from its address.
+func TestLoadDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := registry.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := reg.Put(tinyModel(t, 5), registry.Manifest{Name: "vvd-current"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := filepath.Join(dir, "models", m.Hash)
+	data, err := os.ReadFile(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x04
+	if err := os.WriteFile(blob, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := reg.Load("vvd-current@latest"); err == nil || !strings.Contains(err.Error(), "content verification") {
+		t.Fatalf("Load over a corrupt blob = %v, want content-verification failure", err)
+	}
+}
+
+func TestPutNameValidation(t *testing.T) {
+	reg := registry.New(store.NewMemStore())
+	v := tinyModel(t, 6)
+	for _, bad := range []string{"", "a@b", "a/b", "has\x00nul"} {
+		if _, err := reg.Put(v, registry.Manifest{Name: bad}); err == nil {
+			t.Errorf("Put accepted artifact name %q", bad)
+		}
+	}
+}
+
+// TestCampaignConfigHash pins what the provenance hash covers: the
+// generated world, not execution knobs.
+func TestCampaignConfigHash(t *testing.T) {
+	cfg := dataset.DefaultConfig()
+	h1, err := registry.CampaignConfigHash(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := cfg
+	same.Workers = 7 // execution knob: excluded from the serialized config
+	h2, err := registry.CampaignConfigHash(same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatal("Workers changed the campaign config hash")
+	}
+	diff := cfg
+	diff.Seed++
+	h3, err := registry.CampaignConfigHash(diff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3 == h1 {
+		t.Fatal("a different seed hashed to the same campaign config")
+	}
+}
+
+func TestIsRef(t *testing.T) {
+	for s, want := range map[string]bool{
+		"vvd.model": false, "./models/x": false,
+		"vvd-current@latest": true, "@ab12cd34": true, "name@ab12cd34": true,
+	} {
+		if registry.IsRef(s) != want {
+			t.Errorf("IsRef(%q) = %v, want %v", s, !want, want)
+		}
+	}
+}
